@@ -1,0 +1,181 @@
+//! A structure-only lazy-NFA path filter (XFilter/YFilter-style).
+//!
+//! Streaming XPath systems contemporary with ViteX (XFilter, YFilter,
+//! XTrie) compiled *predicate-free path* queries into automata over SAX
+//! events. This module implements that approach for the main-path-only
+//! subset of the fragment — it cannot handle predicates at all, which is
+//! precisely the gap ViteX's TwigM fills. It serves as (a) an independent
+//! correctness reference for predicate-free queries and (b) the ablation
+//! point "what does predicate support cost" in the benchmark suite.
+
+use std::io::Read;
+
+use vitex_xmlsax::{XmlEvent, XmlReader, XmlResult};
+use vitex_xpath::query_tree::{NodeKind, QueryTree};
+use vitex_xpath::Axis;
+
+/// One NFA state per main-path step (plus the implicit start state 0).
+/// A state is *active at depth d* if steps `1..=state` have been matched by
+/// a chain ending at an open element of depth `d`.
+#[derive(Debug, Clone)]
+struct Transition {
+    /// Element name to match (`None` = wildcard).
+    name: Option<String>,
+    /// Whether the step may skip levels.
+    axis: Axis,
+}
+
+/// A compiled path NFA.
+pub struct PathNfa {
+    transitions: Vec<Transition>,
+}
+
+/// Why a query cannot be handled by the structure-only filter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Unsupported(pub String);
+
+impl std::fmt::Display for Unsupported {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "NFA filter cannot run this query: {}", self.0)
+    }
+}
+
+impl std::error::Error for Unsupported {}
+
+impl PathNfa {
+    /// Compiles a predicate-free, element-only path query.
+    pub fn compile(tree: &QueryTree) -> Result<PathNfa, Unsupported> {
+        let mut transitions = Vec::new();
+        for &q in tree.main_path() {
+            let node = tree.node(q);
+            if !node.pred_children.is_empty() {
+                return Err(Unsupported("query has predicates".into()));
+            }
+            match &node.kind {
+                NodeKind::Element { name } => {
+                    transitions.push(Transition { name: name.clone(), axis: node.axis })
+                }
+                _ => return Err(Unsupported("attribute/text result".into())),
+            }
+        }
+        Ok(PathNfa { transitions })
+    }
+
+    /// Runs the filter, returning the document-order ids of matching
+    /// elements (ids numbered like the engine: element, then attributes,
+    /// then content).
+    pub fn run<R: Read>(&self, mut reader: XmlReader<R>) -> XmlResult<Vec<u64>> {
+        let k = self.transitions.len();
+        // Active state sets per open element: states[d] = states active
+        // after processing the open chain down to depth d.
+        // State i means "steps 1..=i matched"; state 0 is the start.
+        let mut active_stack: Vec<Vec<usize>> = vec![vec![0]];
+        let mut matches = Vec::new();
+        let mut next_id: u64 = 0;
+        loop {
+            match reader.next_event()? {
+                XmlEvent::StartElement(e) => {
+                    let id = next_id;
+                    next_id += 1 + e.attributes.len() as u64;
+                    let parent_states = active_stack.last().expect("stack seeded");
+                    let mut states: Vec<usize> = Vec::with_capacity(parent_states.len() + 1);
+                    for &s in parent_states {
+                        // A descendant-axis state persists below.
+                        if s < k && self.transitions[s].axis == Axis::Descendant {
+                            push_unique(&mut states, s);
+                        }
+                        // Try to advance.
+                        if s < k {
+                            let t = &self.transitions[s];
+                            let name_ok =
+                                t.name.as_deref().is_none_or(|n| n == e.name.as_str());
+                            if name_ok {
+                                push_unique(&mut states, s + 1);
+                            }
+                        }
+                        // Accepting states stay accepting only for the
+                        // element that reached them; do not propagate.
+                    }
+                    // The start state is live at every depth for a leading
+                    // descendant axis; for a leading child axis only at
+                    // depth 0 (handled by persistence rules above since the
+                    // root transition sits in state 0 of the parent set).
+                    if states.contains(&k) {
+                        matches.push(id);
+                    }
+                    active_stack.push(states);
+                }
+                XmlEvent::EndElement(_) => {
+                    active_stack.pop();
+                }
+                XmlEvent::Characters(_) => {
+                    next_id += 1; // keep document-order ids aligned
+                }
+                XmlEvent::EndDocument => break,
+                _ => {}
+            }
+        }
+        Ok(matches)
+    }
+}
+
+fn push_unique(v: &mut Vec<usize>, s: usize) {
+    if !v.contains(&s) {
+        v.push(s);
+    }
+}
+
+/// One-call convenience.
+pub fn filter_str(xml: &str, query: &str) -> Result<Vec<u64>, Box<dyn std::error::Error>> {
+    let tree = QueryTree::parse(query)?;
+    let nfa = PathNfa::compile(&tree)?;
+    Ok(nfa.run(XmlReader::from_str(xml))?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(xml: &str, query: &str) -> Vec<u64> {
+        filter_str(xml, query).unwrap()
+    }
+
+    #[test]
+    fn descendant_paths() {
+        assert_eq!(ids("<a><b/><c><b/></c></a>", "//b"), [1, 3]);
+        assert_eq!(ids("<a><x><b/></x></a>", "//a//b"), [2]);
+    }
+
+    #[test]
+    fn child_paths() {
+        assert_eq!(ids("<a><b/><c><b/></c></a>", "/a/b"), [1]);
+        assert_eq!(ids("<a><b/></a>", "/b"), Vec::<u64>::new());
+    }
+
+    #[test]
+    fn mixed_axes() {
+        let xml = "<a><m><b><c/></b></m><b><c/></b></a>";
+        assert_eq!(ids(xml, "//a//b/c"), [3, 5]);
+        assert_eq!(ids(xml, "/a/b/c"), [5]);
+    }
+
+    #[test]
+    fn wildcards() {
+        assert_eq!(ids("<a><b/><c/></a>", "//*").len(), 3);
+        assert_eq!(ids("<a><b/><c/></a>", "/a/*").len(), 2);
+    }
+
+    #[test]
+    fn recursive_self() {
+        let xml = "<a><a><a/></a></a>";
+        assert_eq!(ids(xml, "//a//a"), [1, 2]);
+    }
+
+    #[test]
+    fn rejects_predicates() {
+        let tree = QueryTree::parse("//a[b]").unwrap();
+        assert!(PathNfa::compile(&tree).is_err());
+        let tree = QueryTree::parse("//a/@id").unwrap();
+        assert!(PathNfa::compile(&tree).is_err());
+    }
+}

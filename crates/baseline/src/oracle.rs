@@ -1,0 +1,316 @@
+//! The non-streaming oracle evaluator.
+//!
+//! Evaluates the query tree over a materialized [`Document`] with memoized
+//! recursion and random access — the conventional approach the paper
+//! contrasts with streaming ("predicates can be checked immediately by
+//! randomly accessing XML nodes"). It is polynomial, small, and obviously
+//! correct, which makes it the gold standard for the differential property
+//! tests: TwigM must produce exactly this result set on every input.
+
+use std::collections::HashMap;
+
+use vitex_core::predicate;
+use vitex_xpath::query_tree::{NodeKind, QNodeId, QueryTree};
+use vitex_xpath::Axis;
+
+use crate::dom::{Document, DomIdx, DomKind};
+
+/// A solution reported by the oracle: the same identity scheme as
+/// [`vitex_core::Match`] (document-order node id), so sets compare
+/// directly.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct OracleMatch {
+    /// Document-order id of the matched node.
+    pub node: u64,
+    /// Attribute value / text content, when applicable.
+    pub value: Option<String>,
+}
+
+/// Evaluates `tree` over `doc`, returning matches sorted by node id.
+pub fn evaluate(doc: &Document, tree: &QueryTree) -> Vec<OracleMatch> {
+    let mut ev = Oracle { doc, tree, subtree_memo: HashMap::new(), prefix_memo: HashMap::new() };
+    let main = tree.main_path();
+    // The result node may be an attribute or text leaf; the last *element*
+    // step is then the second-to-last main node.
+    let result_node = tree.node(tree.result());
+    let mut out = Vec::new();
+    match &result_node.kind {
+        NodeKind::Element { .. } => {
+            for idx in ev.doc.elements().collect::<Vec<_>>() {
+                if ev.matches_prefix(main.len() - 1, idx) {
+                    out.push(OracleMatch { node: ev.doc.node(idx).id, value: None });
+                }
+            }
+        }
+        NodeKind::Attribute { name } => {
+            let parent_pos = main.len() - 2;
+            for idx in ev.doc.elements().collect::<Vec<_>>() {
+                if ev.matches_prefix(parent_pos, idx) {
+                    for attr in ev.doc.node(idx).attributes() {
+                        let name_ok = name.as_deref().is_none_or(|n| n == attr.name);
+                        let cmp_ok = match &result_node.comparison {
+                            None => true,
+                            Some((op, lit)) => predicate::compare(&attr.value, *op, lit),
+                        };
+                        if name_ok && cmp_ok {
+                            out.push(OracleMatch {
+                                node: attr.id,
+                                value: Some(attr.value.clone()),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        NodeKind::Text => {
+            let parent_pos = main.len() - 2;
+            for idx in ev.doc.elements().collect::<Vec<_>>() {
+                if ev.matches_prefix(parent_pos, idx) {
+                    for &c in &ev.doc.node(idx).children {
+                        if let DomKind::Text { content } = &ev.doc.node(c).kind {
+                            let cmp_ok = match &result_node.comparison {
+                                None => true,
+                                Some((op, lit)) => predicate::compare(content, *op, lit),
+                            };
+                            if cmp_ok {
+                                out.push(OracleMatch {
+                                    node: ev.doc.node(c).id,
+                                    value: Some(content.clone()),
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out.sort();
+    out.dedup();
+    out
+}
+
+struct Oracle<'a> {
+    doc: &'a Document,
+    tree: &'a QueryTree,
+    /// (query node, dom element) → does the query node's predicate subtree
+    /// match with the query node bound there?
+    subtree_memo: HashMap<(QNodeId, DomIdx), bool>,
+    /// (main-path position, dom element) → is there a chain binding main
+    /// steps 0..=pos ending at this element (with all predicates)?
+    prefix_memo: HashMap<(usize, DomIdx), bool>,
+}
+
+impl Oracle<'_> {
+    /// Does `idx` carry a full binding of main steps `0..=pos`?
+    fn matches_prefix(&mut self, pos: usize, idx: DomIdx) -> bool {
+        if let Some(&hit) = self.prefix_memo.get(&(pos, idx)) {
+            return hit;
+        }
+        let q = self.tree.main_path()[pos];
+        let mut ok = self.node_matches(q, idx);
+        if ok {
+            let qnode = self.tree.node(q);
+            ok = if pos == 0 {
+                match qnode.axis {
+                    Axis::Child => self.doc.node(idx).level == 1,
+                    Axis::Descendant => true,
+                }
+            } else {
+                match qnode.axis {
+                    Axis::Child => match self.doc.node(idx).parent {
+                        Some(p) if self.doc.node(p).is_element() => {
+                            self.matches_prefix(pos - 1, p)
+                        }
+                        _ => false,
+                    },
+                    Axis::Descendant => {
+                        let mut cur = self.doc.node(idx).parent;
+                        let mut found = false;
+                        while let Some(p) = cur {
+                            if self.doc.node(p).is_element() && self.matches_prefix(pos - 1, p) {
+                                found = true;
+                                break;
+                            }
+                            cur = self.doc.node(p).parent;
+                        }
+                        found
+                    }
+                }
+            };
+        }
+        self.prefix_memo.insert((pos, idx), ok);
+        ok
+    }
+
+    /// Does element `idx` satisfy query node `q`'s own tests: name,
+    /// value comparison, and all predicate subtrees?
+    fn node_matches(&mut self, q: QNodeId, idx: DomIdx) -> bool {
+        if let Some(&hit) = self.subtree_memo.get(&(q, idx)) {
+            return hit;
+        }
+        let qnode = self.tree.node(q);
+        let node = self.doc.node(idx);
+        let mut ok = match (&qnode.kind, &node.kind) {
+            (NodeKind::Element { name }, DomKind::Element { name: ename, .. }) => {
+                name.as_deref().is_none_or(|n| n == ename)
+            }
+            _ => false,
+        };
+        if ok {
+            if let Some((op, lit)) = &qnode.comparison {
+                ok = predicate::compare(&self.doc.string_value(idx), *op, lit);
+            }
+        }
+        if ok {
+            for &pc in &qnode.pred_children.clone() {
+                if !self.pred_witnessed(pc, idx) {
+                    ok = false;
+                    break;
+                }
+            }
+        }
+        self.subtree_memo.insert((q, idx), ok);
+        ok
+    }
+
+    /// Is predicate child `pc` witnessed somewhere under element `idx`
+    /// (respecting `pc`'s axis)?
+    fn pred_witnessed(&mut self, pc: QNodeId, idx: DomIdx) -> bool {
+        let qnode = self.tree.node(pc).clone();
+        match &qnode.kind {
+            NodeKind::Attribute { name } => {
+                debug_assert_eq!(qnode.axis, Axis::Child);
+                self.doc.node(idx).attributes().iter().any(|a| {
+                    name.as_deref().is_none_or(|n| n == a.name)
+                        && qnode
+                            .comparison
+                            .as_ref()
+                            .is_none_or(|(op, lit)| predicate::compare(&a.value, *op, lit))
+                })
+            }
+            NodeKind::Text => {
+                debug_assert_eq!(qnode.axis, Axis::Child);
+                self.doc.node(idx).children.clone().iter().any(|&c| {
+                    match &self.doc.node(c).kind {
+                        DomKind::Text { content } => qnode
+                            .comparison
+                            .as_ref()
+                            .is_none_or(|(op, lit)| predicate::compare(content, *op, lit)),
+                        _ => false,
+                    }
+                })
+            }
+            NodeKind::Element { .. } => match qnode.axis {
+                Axis::Child => self
+                    .doc
+                    .node(idx)
+                    .children
+                    .clone()
+                    .iter()
+                    .any(|&c| self.doc.node(c).is_element() && self.node_matches(pc, c)),
+                Axis::Descendant => self.any_descendant_matches(pc, idx),
+            },
+        }
+    }
+
+    fn any_descendant_matches(&mut self, pc: QNodeId, idx: DomIdx) -> bool {
+        for &c in &self.doc.node(idx).children.clone() {
+            if self.doc.node(c).is_element()
+                && (self.node_matches(pc, c) || self.any_descendant_matches(pc, c)) {
+                    return true;
+                }
+        }
+        false
+    }
+}
+
+/// Convenience: parse + evaluate in one call.
+pub fn evaluate_str(xml: &str, query: &str) -> Vec<OracleMatch> {
+    let doc = Document::parse_str(xml).expect("well-formed XML");
+    let tree = QueryTree::parse(query).expect("valid query");
+    evaluate(&doc, &tree)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(xml: &str, query: &str) -> Vec<u64> {
+        evaluate_str(xml, query).into_iter().map(|m| m.node).collect()
+    }
+
+    #[test]
+    fn simple_descendant() {
+        assert_eq!(ids("<a><b/><c><b/></c></a>", "//b"), [1, 3]);
+    }
+
+    #[test]
+    fn child_axis() {
+        assert_eq!(ids("<a><b/><c><b/></c></a>", "/a/b"), [1]);
+        assert_eq!(ids("<a><b/></a>", "/x"), Vec::<u64>::new());
+    }
+
+    #[test]
+    fn paper_figure_1() {
+        // The Figure 1 document; only cell_8 (the cell under table_7 via
+        // section_2's chain... in our ids: cell is node id 7) matches.
+        let xml = "<book><section><section><section>\
+                   <table><table><table><cell>A</cell></table></table>\
+                   <position>B</position></table>\
+                   </section></section><author>C</author></section></book>";
+        let ms = evaluate_str(xml, "//section[author]//table[position]//cell");
+        assert_eq!(ms.len(), 1);
+    }
+
+    #[test]
+    fn predicates_with_values() {
+        let xml = "<lib><book><year>2003</year></book><book><year>1999</year></book></lib>";
+        assert_eq!(ids(xml, "//book[year > 2000]").len(), 1);
+        assert_eq!(ids(xml, "//book[year = 1999]").len(), 1);
+        assert_eq!(ids(xml, "//book[year]").len(), 2);
+    }
+
+    #[test]
+    fn attribute_results_and_predicates() {
+        let xml = "<r><a id=\"x\" k=\"1\"/><a id=\"y\"/><a/></r>";
+        let ms = evaluate_str(xml, "//a/@id");
+        assert_eq!(ms.len(), 2);
+        assert_eq!(ms[0].value.as_deref(), Some("x"));
+        assert_eq!(ids(xml, "//a[@k]/@id").len(), 1);
+    }
+
+    #[test]
+    fn text_results() {
+        let xml = "<a>one<b>two</b>three</a>";
+        let ms = evaluate_str(xml, "//a/text()");
+        let vals: Vec<&str> = ms.iter().filter_map(|m| m.value.as_deref()).collect();
+        assert_eq!(vals, ["one", "three"]);
+    }
+
+    #[test]
+    fn wildcards() {
+        assert_eq!(ids("<a><b/><c/></a>", "//*").len(), 3);
+        assert_eq!(ids("<a><b/><c/></a>", "/a/*").len(), 2);
+    }
+
+    #[test]
+    fn string_value_uses_descendant_text() {
+        let xml = "<r><a><b>x<c>y</c></b></a></r>";
+        assert_eq!(ids(xml, "//a[b = 'xy']").len(), 1);
+        assert_eq!(ids(xml, "//a[b = 'x']").len(), 0);
+    }
+
+    #[test]
+    fn deep_recursion_memoizes() {
+        // 200-deep nesting of <a>; //a//a//a should not blow up.
+        let depth = 200;
+        let xml = format!("{}{}", "<a>".repeat(depth), "</a>".repeat(depth));
+        assert_eq!(ids(&xml, "//a//a//a").len(), depth - 2);
+    }
+
+    #[test]
+    fn rewritten_leading_attribute() {
+        let xml = "<r id=\"1\"><a id=\"2\"/></r>";
+        assert_eq!(ids(xml, "//@id").len(), 2);
+    }
+}

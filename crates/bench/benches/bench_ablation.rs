@@ -1,0 +1,41 @@
+//! Criterion counterpart of experiment E6: compact/lazy candidate
+//! propagation (the paper's design) vs eager fan-out to every compatible
+//! ancestor, on deeply recursive data where the ancestor count is large.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vitex_core::{Engine, EvalMode};
+use vitex_xmlgen::recursive::{self, RecursiveConfig};
+use vitex_xmlsax::XmlReader;
+use vitex_xpath::QueryTree;
+
+fn bench_ablation(c: &mut Criterion) {
+    let tree = QueryTree::parse("//section[author]//table[position]//cell").unwrap();
+    let mut group = c.benchmark_group("e6_ablation");
+    group.sample_size(10).measurement_time(Duration::from_secs(1));
+    for depth in [16usize, 64] {
+        let cfg = RecursiveConfig {
+            towers: 32,
+            position_on_outermost_only: false,
+            ..RecursiveConfig::square(depth)
+        };
+        let xml = recursive::to_string(&cfg);
+        for (label, mode) in [("compact", EvalMode::Compact), ("eager", EvalMode::Eager)] {
+            group.bench_with_input(BenchmarkId::new(label, depth), &xml, |b, xml| {
+                let mut engine = Engine::with_mode(&tree, mode).unwrap();
+                b.iter(|| {
+                    engine
+                        .run(XmlReader::from_str(xml), |_| {})
+                        .unwrap()
+                        .stats
+                        .emitted
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

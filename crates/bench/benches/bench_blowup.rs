@@ -1,0 +1,34 @@
+//! Criterion counterpart of experiment E3: TwigM vs the naive
+//! pattern-match enumerator as the `//a`-chain length grows over
+//! recursive data. The naive series' time explodes combinatorially; the
+//! TwigM series stays flat — the paper's §1 motivation, measured.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vitex_baseline::{naive, NaiveConfig};
+use vitex_bench::run_query;
+use vitex_xmlgen::recursive;
+use vitex_xmlsax::XmlReader;
+use vitex_xpath::QueryTree;
+
+fn bench_blowup(c: &mut Criterion) {
+    let xml = recursive::uniform_nesting(24);
+    let mut group = c.benchmark_group("e3_blowup");
+    group.sample_size(10).measurement_time(Duration::from_secs(1));
+    for k in [2usize, 4, 6] {
+        let query = "//a".repeat(k);
+        let tree = QueryTree::parse(&query).unwrap();
+        group.bench_with_input(BenchmarkId::new("twigm", k), &tree, |b, tree| {
+            b.iter(|| run_query(&xml, tree).matches.len())
+        });
+        let eval = naive::NaiveEvaluator::new(&tree, NaiveConfig { max_embeddings: 10_000_000 });
+        group.bench_with_input(BenchmarkId::new("naive", k), &eval, |b, eval| {
+            b.iter(|| eval.run(XmlReader::from_str(&xml)).unwrap().matches.len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_blowup);
+criterion_main!(benches);

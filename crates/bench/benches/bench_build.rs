@@ -1,0 +1,35 @@
+//! Criterion counterpart of experiment E7: machine construction time must
+//! be linear in the query size (paper Feature 2).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use vitex_core::MachineSpec;
+use vitex_xpath::QueryTree;
+
+fn bench_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7_build");
+    group.sample_size(20).measurement_time(Duration::from_secs(1));
+    for k in [8usize, 64, 512, 4096] {
+        let mut q = String::new();
+        for i in 0..k {
+            q.push_str("//n");
+            q.push_str(&(i % 7).to_string());
+            if i % 4 == 3 {
+                q.push_str("[p]");
+            }
+        }
+        let tree = QueryTree::parse(&q).unwrap();
+        group.throughput(Throughput::Elements(tree.len() as u64));
+        group.bench_with_input(BenchmarkId::new("parse", k), &q, |b, q| {
+            b.iter(|| vitex_xpath::parse(q).unwrap().size())
+        });
+        group.bench_with_input(BenchmarkId::new("compile", k), &tree, |b, tree| {
+            b.iter(|| MachineSpec::compile(tree).unwrap().len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_build);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! SAX-parser microbenchmarks — the substrate whose cost the paper calls
+//! out explicitly (74% of the E2 runtime). Separate series for the three
+//! structural regimes the tokenizer has fast/slow paths for: markup-dense,
+//! text-dense, and attribute-dense documents.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use vitex_bench::sax_only;
+use vitex_xmlgen::{protein, random, recursive};
+
+fn bench_parser(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sax_parser");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+
+    let markup_dense = recursive::to_string(&{
+        let mut cfg = recursive::RecursiveConfig::square(6);
+        cfg.towers = 4000;
+        cfg
+    });
+    let text_dense = protein::to_string(&protein::ProteinConfig {
+        sequence_len: 4000,
+        ..protein::ProteinConfig::sized(2 << 20)
+    });
+    let attr_dense = random::to_string(&{
+        let mut cfg = random::RandomConfig::seeded(7);
+        cfg.attr_prob = 0.9;
+        cfg.max_elements = 40_000;
+        cfg
+    });
+
+    for (label, xml) in
+        [("markup_dense", &markup_dense), ("text_dense", &text_dense), ("attr_dense", &attr_dense)]
+    {
+        group.throughput(Throughput::Bytes(xml.len() as u64));
+        group.bench_with_input(BenchmarkId::new("events", label), xml, |b, xml| {
+            b.iter(|| sax_only(xml))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_parser);
+criterion_main!(benches);

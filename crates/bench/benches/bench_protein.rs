@@ -1,0 +1,32 @@
+//! Criterion counterpart of experiment E2: the paper's protein query, with
+//! SAX-only and full-pipeline series so the parse share is visible in the
+//! report (paper: 4.43 s of 6.02 s on 75 MB).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use vitex_bench::{run_query, sax_only};
+use vitex_xmlgen::protein::{self, ProteinConfig};
+use vitex_xpath::QueryTree;
+
+fn bench_protein(c: &mut Criterion) {
+    let tree = QueryTree::parse("//ProteinEntry[reference]/@id").unwrap();
+    let mut group = c.benchmark_group("e2_protein");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    for mb in [1u64, 4] {
+        let xml = protein::to_string(&ProteinConfig::sized(mb << 20));
+        group.throughput(Throughput::Bytes(xml.len() as u64));
+        group.bench_with_input(BenchmarkId::new("sax_only", format!("{mb}MB")), &xml, |b, xml| {
+            b.iter(|| sax_only(xml))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("full_pipeline", format!("{mb}MB")),
+            &xml,
+            |b, xml| b.iter(|| run_query(xml, &tree).matches.len()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_protein);
+criterion_main!(benches);

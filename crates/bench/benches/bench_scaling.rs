@@ -1,0 +1,62 @@
+//! Criterion counterpart of experiments E4 (linear in |D|) and E5
+//! (polynomial in |Q|).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use vitex_bench::run_query;
+use vitex_xmlgen::random::{self, RandomConfig};
+use vitex_xmlgen::{auction, protein};
+use vitex_xpath::QueryTree;
+
+fn bench_data_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4_data_scaling");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    let tree = QueryTree::parse("//ProteinEntry[reference]/@id").unwrap();
+    for mb in [1u64, 2, 4] {
+        let xml = protein::to_string(&protein::ProteinConfig::sized(mb << 20));
+        group.throughput(Throughput::Bytes(xml.len() as u64));
+        group.bench_with_input(BenchmarkId::new("protein", format!("{mb}MB")), &xml, |b, xml| {
+            b.iter(|| run_query(xml, &tree).matches.len())
+        });
+    }
+    let tree = QueryTree::parse("//regions//item/description//listitem").unwrap();
+    for mb in [1u64, 2, 4] {
+        let xml = auction::to_string(&auction::AuctionConfig::sized(mb << 20));
+        group.throughput(Throughput::Bytes(xml.len() as u64));
+        group.bench_with_input(BenchmarkId::new("auction", format!("{mb}MB")), &xml, |b, xml| {
+            b.iter(|| run_query(xml, &tree).matches.len())
+        });
+    }
+    group.finish();
+}
+
+fn bench_query_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5_query_scaling");
+    group.sample_size(10).measurement_time(Duration::from_secs(1));
+    let xml = {
+        let mut cfg = RandomConfig::seeded(42);
+        cfg.max_elements = 20_000;
+        cfg.max_depth = 20;
+        cfg.tags = vec!["a".into(), "b".into(), "c".into()];
+        random::to_string(&cfg)
+    };
+    for k in [2usize, 8, 32] {
+        let query = "//a".repeat(k);
+        let tree = QueryTree::parse(&query).unwrap();
+        group.bench_with_input(BenchmarkId::new("chain", k), &tree, |b, tree| {
+            b.iter(|| run_query(&xml, tree).matches.len())
+        });
+    }
+    for n in [2usize, 8, 32] {
+        let preds: String = (0..n).map(|i| if i % 2 == 0 { "[b]" } else { "[c]" }).collect();
+        let tree = QueryTree::parse(&format!("//a{preds}")).unwrap();
+        group.bench_with_input(BenchmarkId::new("predicates", n), &tree, |b, tree| {
+            b.iter(|| run_query(&xml, tree).matches.len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_data_scaling, bench_query_scaling);
+criterion_main!(benches);

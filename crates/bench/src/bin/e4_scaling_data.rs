@@ -1,0 +1,60 @@
+//! E4 — time scales linearly in document size (paper §2, Feature 1:
+//! "polynomial time complexity in both data and query size").
+//!
+//! Three dataset shapes (protein, auction, recursive towers), one
+//! representative query each, sizes doubling: throughput (MB/s) should be
+//! roughly constant per shape, i.e. time linear in |D|.
+
+use vitex_bench::{fmt_dur, header, run_query, scale_arg, throughput, time_best};
+use vitex_xmlgen::{auction, protein, recursive};
+use vitex_xpath::QueryTree;
+
+fn row(label: &str, xml: &str, tree: &QueryTree) {
+    let reps = if xml.len() < 8 << 20 { 3 } else { 1 };
+    let (out, t) = time_best(reps, || run_query(xml, tree));
+    println!(
+        "{:>10} {:>9.1}MB | {:>10} | {:>8.1} MB/s | {:>9} matches",
+        label,
+        xml.len() as f64 / (1 << 20) as f64,
+        fmt_dur(t),
+        throughput(xml.len(), t),
+        out.matches.len(),
+    );
+}
+
+fn main() {
+    header(
+        "E4: throughput vs document size",
+        "evaluation time linear in |D| across data shapes",
+    );
+    let scale = scale_arg();
+    let mb = |m: u64| ((m as f64) * scale * (1 << 20) as f64) as u64;
+
+    println!("protein — //ProteinEntry[reference]/@id");
+    let tree = QueryTree::parse("//ProteinEntry[reference]/@id").unwrap();
+    for m in [2u64, 4, 8, 16, 32] {
+        let xml = protein::to_string(&protein::ProteinConfig::sized(mb(m)));
+        row("protein", &xml, &tree);
+    }
+
+    println!("\nauction — //regions//item/description//listitem");
+    let tree = QueryTree::parse("//regions//item/description//listitem").unwrap();
+    for m in [2u64, 4, 8, 16] {
+        let xml = auction::to_string(&auction::AuctionConfig::sized(mb(m)));
+        row("auction", &xml, &tree);
+    }
+
+    println!("\nrecursive towers — //section[author]//table[position]//cell");
+    let tree = QueryTree::parse("//section[author]//table[position]//cell").unwrap();
+    for towers in [2_000usize, 4_000, 8_000, 16_000] {
+        let towers = ((towers as f64) * scale).max(16.0) as usize;
+        let cfg = recursive::RecursiveConfig {
+            towers,
+            ..recursive::RecursiveConfig::square(6)
+        };
+        let xml = recursive::to_string(&cfg);
+        row("recursive", &xml, &tree);
+    }
+
+    println!("\nshape check: MB/s roughly constant down each column block → linear in |D|.");
+}

@@ -1,0 +1,143 @@
+//! # vitex-bench — the experiment harness
+//!
+//! One binary per experiment row of DESIGN.md §5 (E1–E7), each printing the
+//! table its paper counterpart reports, plus Criterion benches for the
+//! timing-sensitive experiments. Run everything with:
+//!
+//! ```text
+//! cargo run --release -p vitex-bench --bin e1_memory
+//! cargo run --release -p vitex-bench --bin e2_protein_time
+//! cargo run --release -p vitex-bench --bin e3_blowup
+//! cargo run --release -p vitex-bench --bin e4_scaling_data
+//! cargo run --release -p vitex-bench --bin e5_scaling_query
+//! cargo run --release -p vitex-bench --bin e6_ablation
+//! cargo run --release -p vitex-bench --bin e7_build_time
+//! cargo bench -p vitex-bench
+//! ```
+//!
+//! Experiment bins accept an optional `--scale <f64>` argument multiplying
+//! the default workload sizes (EXPERIMENTS.md records scale = 1 runs).
+
+use std::time::{Duration, Instant};
+
+use vitex_core::{evaluate_reader, EvalOutput};
+use vitex_xmlsax::{XmlEvent, XmlReader};
+use vitex_xpath::QueryTree;
+
+/// Parses `--scale <f>` from argv (default 1.0).
+pub fn scale_arg() -> f64 {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "--scale")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1.0)
+}
+
+/// Times one invocation of `f`.
+pub fn time_once<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let t = Instant::now();
+    let out = f();
+    (out, t.elapsed())
+}
+
+/// Times `f` over `reps` runs and returns the minimum (the conventional
+/// low-noise summary for deterministic workloads).
+pub fn time_best<T>(reps: usize, mut f: impl FnMut() -> T) -> (T, Duration) {
+    let mut best: Option<Duration> = None;
+    let mut value = None;
+    for _ in 0..reps.max(1) {
+        let (v, d) = time_once(&mut f);
+        if best.is_none_or(|b| d < b) {
+            best = Some(d);
+        }
+        value = Some(v);
+    }
+    (value.expect("reps >= 1"), best.expect("reps >= 1"))
+}
+
+/// Pure SAX scan of an in-memory document; returns the event count.
+pub fn sax_only(xml: &str) -> u64 {
+    let mut events = 0;
+    let mut reader = XmlReader::from_str(xml);
+    loop {
+        match reader.next_event().expect("well-formed benchmark data") {
+            XmlEvent::EndDocument => return events,
+            _ => events += 1,
+        }
+    }
+}
+
+/// Full-pipeline evaluation of a prepared tree over an in-memory document.
+pub fn run_query(xml: &str, tree: &QueryTree) -> EvalOutput {
+    evaluate_reader(XmlReader::from_str(xml), tree).expect("benchmark run")
+}
+
+/// Formats a duration in engineering-friendly units.
+pub fn fmt_dur(d: Duration) -> String {
+    let s = d.as_secs_f64();
+    if s >= 1.0 {
+        format!("{s:.2}s")
+    } else if s >= 1e-3 {
+        format!("{:.2}ms", s * 1e3)
+    } else {
+        format!("{:.1}µs", s * 1e6)
+    }
+}
+
+/// Formats bytes with binary units.
+pub fn fmt_bytes(b: u64) -> String {
+    if b >= 1 << 20 {
+        format!("{:.1}MiB", b as f64 / (1 << 20) as f64)
+    } else if b >= 1 << 10 {
+        format!("{:.1}KiB", b as f64 / (1 << 10) as f64)
+    } else {
+        format!("{b}B")
+    }
+}
+
+/// MB/s throughput.
+pub fn throughput(bytes: usize, d: Duration) -> f64 {
+    bytes as f64 / (1 << 20) as f64 / d.as_secs_f64()
+}
+
+/// Prints an experiment header in a fixed format EXPERIMENTS.md links to.
+pub fn header(id: &str, claim: &str) {
+    println!("=== {id} ===");
+    println!("paper claim: {claim}");
+    println!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fmt_bytes(512), "512B");
+        assert_eq!(fmt_bytes(2048), "2.0KiB");
+        assert_eq!(fmt_bytes(3 << 20), "3.0MiB");
+        assert!(fmt_dur(Duration::from_micros(50)).ends_with("µs"));
+        assert!(fmt_dur(Duration::from_millis(50)).ends_with("ms"));
+        assert!(fmt_dur(Duration::from_secs(2)).ends_with('s'));
+    }
+
+    #[test]
+    fn sax_only_counts_events() {
+        // StartDocument + <a> + <b> + </b> + </a> (EndDocument excluded).
+        assert_eq!(sax_only("<a><b/></a>"), 5);
+    }
+
+    #[test]
+    fn run_query_works() {
+        let tree = QueryTree::parse("//b").unwrap();
+        let out = run_query("<a><b/></a>", &tree);
+        assert_eq!(out.matches.len(), 1);
+    }
+
+    #[test]
+    fn time_best_returns_min() {
+        let (_, d) = time_best(3, || std::thread::sleep(Duration::from_millis(1)));
+        assert!(d >= Duration::from_millis(1));
+    }
+}

@@ -1,0 +1,241 @@
+//! The evaluation engine: SAX reader → TwigM machine → matches.
+//!
+//! This is the assembled ViteX system of the paper's Figure 2: the XPath
+//! parser and TwigM builder run once per query; the SAX parser and TwigM
+//! machine then stream the document. The engine's only jobs are document-
+//! order node numbering (elements, their attributes, text nodes) and event
+//! plumbing — all query logic lives in [`crate::machine`].
+
+use std::io::Read;
+
+use vitex_xmlsax::{XmlEvent, XmlReader};
+use vitex_xpath::query_tree::QueryTree;
+
+use crate::builder::{BuildError, EvalMode};
+use crate::error::EngineResult;
+use crate::machine::TwigM;
+use crate::result::{Match, NodeId};
+use crate::stats::MachineStats;
+
+/// Everything a full evaluation run reports.
+#[derive(Debug, Clone)]
+pub struct EvalOutput {
+    /// The solutions, in emission (completion) order.
+    pub matches: Vec<Match>,
+    /// Machine instrumentation for the run.
+    pub stats: MachineStats,
+    /// Elements seen.
+    pub elements: u64,
+    /// Text nodes seen.
+    pub text_nodes: u64,
+    /// Total SAX events processed.
+    pub events: u64,
+}
+
+/// A reusable query engine: build once, run over many documents.
+pub struct Engine {
+    machine: TwigM,
+}
+
+impl Engine {
+    /// Compiles `tree` in the default (compact) mode.
+    pub fn new(tree: &QueryTree) -> Result<Self, BuildError> {
+        Engine::with_mode(tree, EvalMode::Compact)
+    }
+
+    /// Compiles `tree` with an explicit evaluation mode.
+    pub fn with_mode(tree: &QueryTree, mode: EvalMode) -> Result<Self, BuildError> {
+        Ok(Engine { machine: TwigM::with_mode(tree, mode)? })
+    }
+
+    /// Convenience: compiles a query string.
+    pub fn from_query(query: &str) -> EngineResult<Self> {
+        let tree = QueryTree::parse(query)?;
+        Ok(Engine::new(&tree)?)
+    }
+
+    /// The underlying machine (for its spec and statistics).
+    pub fn machine(&self) -> &TwigM {
+        &self.machine
+    }
+
+    /// Streams `reader` through the machine, invoking `on_match` for every
+    /// solution the moment it becomes decidable. Resets the machine first,
+    /// so an engine can be reused across documents.
+    pub fn run<R: Read, F: FnMut(Match)>(
+        &mut self,
+        mut reader: XmlReader<R>,
+        mut on_match: F,
+    ) -> EngineResult<EvalOutput> {
+        self.machine.reset();
+        let mut next_id: NodeId = 0;
+        let mut elements = 0u64;
+        let mut text_nodes = 0u64;
+        let mut events = 0u64;
+        let mut matches = Vec::new();
+        loop {
+            let event = reader.next_event()?;
+            events += 1;
+            match event {
+                XmlEvent::StartElement(e) => {
+                    elements += 1;
+                    let elem_id = next_id;
+                    next_id += 1 + e.attributes.len() as u64;
+                    self.machine.start_element(
+                        e.name.as_str(),
+                        e.level,
+                        &e.attributes,
+                        elem_id,
+                        elem_id + 1,
+                        e.span,
+                        &mut |m| {
+                            matches.push(m.clone());
+                            on_match(m);
+                        },
+                    );
+                }
+                XmlEvent::Characters(c) => {
+                    text_nodes += 1;
+                    let id = next_id;
+                    next_id += 1;
+                    self.machine.characters(&c.text, c.level, id, c.span, &mut |m| {
+                        matches.push(m.clone());
+                        on_match(m);
+                    });
+                }
+                XmlEvent::EndElement(e) => {
+                    self.machine.end_element(e.name.as_str(), e.level, e.element_span, &mut |m| {
+                        matches.push(m.clone());
+                        on_match(m);
+                    });
+                }
+                XmlEvent::EndDocument => break,
+                XmlEvent::StartDocument { .. }
+                | XmlEvent::Comment(_)
+                | XmlEvent::ProcessingInstruction(_)
+                | XmlEvent::DoctypeDeclaration { .. } => {}
+            }
+        }
+        debug_assert!(self.machine.is_quiescent(), "well-formed input drains all stacks");
+        Ok(EvalOutput {
+            matches,
+            stats: self.machine.stats().clone(),
+            elements,
+            text_nodes,
+            events,
+        })
+    }
+}
+
+/// Evaluates a prepared query tree over a reader, collecting all matches.
+pub fn evaluate_reader<R: Read>(
+    reader: XmlReader<R>,
+    tree: &QueryTree,
+) -> EngineResult<EvalOutput> {
+    let mut engine = Engine::new(tree)?;
+    engine.run(reader, |_| {})
+}
+
+/// One-call evaluation of a query string over an in-memory document.
+///
+/// ```
+/// let ms = vitex_core::evaluate_str("<a><b/><c/><b/></a>", "//b").unwrap();
+/// assert_eq!(ms.len(), 2);
+/// ```
+pub fn evaluate_str(xml: &str, query: &str) -> EngineResult<Vec<Match>> {
+    let tree = QueryTree::parse(query)?;
+    Ok(evaluate_reader(XmlReader::from_str(xml), &tree)?.matches)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::result::MatchKind;
+
+    #[test]
+    fn evaluate_str_basics() {
+        let ms = evaluate_str("<a><b>x</b><c><b>y</b></c></a>", "//a//b").unwrap();
+        assert_eq!(ms.len(), 2);
+        assert!(ms.iter().all(|m| m.kind == MatchKind::Element));
+    }
+
+    #[test]
+    fn matches_carry_spans_for_fragment_extraction() {
+        let xml = "<a><b id=\"1\">x</b></a>";
+        let ms = evaluate_str(xml, "//b").unwrap();
+        assert_eq!(ms.len(), 1);
+        let frag = ms[0].span.slice(xml.as_bytes()).unwrap();
+        assert_eq!(frag, b"<b id=\"1\">x</b>");
+    }
+
+    #[test]
+    fn paper_q2_shape() {
+        let xml = "<ProteinDatabase>\
+            <ProteinEntry id=\"p1\"><reference>r</reference></ProteinEntry>\
+            <ProteinEntry id=\"p2\"></ProteinEntry>\
+            </ProteinDatabase>";
+        let ms = evaluate_str(xml, "//ProteinEntry[reference]/@id").unwrap();
+        assert_eq!(ms.len(), 1);
+        assert_eq!(ms[0].value.as_deref(), Some("p1"));
+        assert_eq!(ms[0].kind, MatchKind::Attribute);
+    }
+
+    #[test]
+    fn incremental_callback_fires_before_document_end() {
+        // The match for the first <b> must be delivered at its endElement,
+        // not at document end — record the count of elements seen at
+        // callback time via a shared cell.
+        let xml = "<a><b/><later/><later/></a>";
+        let tree = QueryTree::parse("//b").unwrap();
+        let mut engine = Engine::new(&tree).unwrap();
+        let mut at_emit = Vec::new();
+        let out = engine
+            .run(XmlReader::from_str(xml), |m| at_emit.push(m.node))
+            .unwrap();
+        assert_eq!(out.matches.len(), 1);
+        assert_eq!(at_emit, vec![1]);
+    }
+
+    #[test]
+    fn engine_is_reusable_across_documents() {
+        let tree = QueryTree::parse("//b").unwrap();
+        let mut engine = Engine::new(&tree).unwrap();
+        let a = engine.run(XmlReader::from_str("<a><b/></a>"), |_| {}).unwrap();
+        let b = engine.run(XmlReader::from_str("<a><b/><b/></a>"), |_| {}).unwrap();
+        assert_eq!(a.matches.len(), 1);
+        assert_eq!(b.matches.len(), 2);
+        assert_eq!(b.stats.emitted, 2, "stats reset between runs");
+    }
+
+    #[test]
+    fn malformed_xml_surfaces_error() {
+        assert!(evaluate_str("<a><b></a>", "//b").is_err());
+    }
+
+    #[test]
+    fn bad_query_surfaces_error() {
+        assert!(evaluate_str("<a/>", "not a query").is_err());
+    }
+
+    #[test]
+    fn counts_are_reported() {
+        let tree = QueryTree::parse("//b").unwrap();
+        let mut engine = Engine::new(&tree).unwrap();
+        let out = engine
+            .run(XmlReader::from_str("<a><b>t</b><c/></a>"), |_| {})
+            .unwrap();
+        assert_eq!(out.elements, 3);
+        assert_eq!(out.text_nodes, 1);
+        assert!(out.events >= 8);
+    }
+
+    #[test]
+    fn node_ids_count_attributes() {
+        // ids: a=0 (attrs 1,2), b=3 → //b matches node 3.
+        let ms = evaluate_str("<a x=\"1\" y=\"2\"><b/></a>", "//b").unwrap();
+        assert_eq!(ms[0].node, 3);
+        // and attribute matches use the attribute's own id.
+        let ms = evaluate_str("<a x=\"1\" y=\"2\"><b/></a>", "//a/@y").unwrap();
+        assert_eq!(ms[0].node, 2);
+    }
+}

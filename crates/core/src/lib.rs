@@ -1,0 +1,65 @@
+//! # vitex-core — the TwigM streaming XPath machine
+//!
+//! This crate is the primary contribution of the ViteX paper (Chen,
+//! Davidson, Zheng — ICDE 2005): a streaming XPath processor that evaluates
+//! XP{/, //, *, []} queries over a single sequential scan of XML in
+//! **polynomial time and space**, even though a single XML node may
+//! participate in an *exponential* number of pattern matches on recursive
+//! data.
+//!
+//! ## How it works (paper §3, reconstructed in detail in DESIGN.md §4)
+//!
+//! * [`builder`] compiles a [`vitex_xpath::QueryTree`] into a **TwigM
+//!   machine** in time linear in the query size: one machine node per query
+//!   node, each element-test machine node owning a **stack**.
+//! * [`machine::TwigM`] consumes SAX events. A stack entry is the paper's
+//!   triplet — *(level of the XML node, match status of its query children,
+//!   candidate solutions)* — and compactly encodes **all** pattern matches
+//!   the open XML nodes participate in.
+//! * On `endElement` the popped entry's match flags are *bookkept* into the
+//!   parent machine node's stack, and candidate solutions are forwarded
+//!   (when the entry's predicates are satisfied) or lazily re-attached to
+//!   an outer candidate ancestor (when they are not). A candidate that
+//!   reaches the root machine node fully satisfied **is** a query solution
+//!   and is emitted immediately — the paper's incremental delivery.
+//! * Pattern matches are never enumerated: a candidate lives in exactly one
+//!   stack entry at a time, which is what turns the exponential match space
+//!   into `O(|D|·|Q|·(|Q|+B))` work.
+//!
+//! ## Entry points
+//!
+//! * [`evaluate_str`] / [`evaluate_reader`] — one-call evaluation.
+//! * [`engine::Engine`] — incremental: feed events, receive matches via a
+//!   callback as soon as they are decidable.
+//! * [`machine::TwigM`] — the raw machine, for callers with their own event
+//!   source.
+//!
+//! ```
+//! let xml = "<book><section><author>C</author>\
+//!            <table><position>B</position><cell>A</cell></table>\
+//!            </section></book>";
+//! let matches = vitex_core::evaluate_str(xml, "//section[author]//table[position]//cell")
+//!     .unwrap();
+//! assert_eq!(matches.len(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bitset;
+pub mod builder;
+pub mod engine;
+pub mod error;
+pub mod machine;
+pub mod multi;
+pub mod predicate;
+pub mod result;
+pub mod stats;
+
+pub use builder::{BuildError, EvalMode, MachineSpec};
+pub use engine::{evaluate_reader, evaluate_str, Engine, EvalOutput};
+pub use error::{EngineError, EngineResult};
+pub use machine::TwigM;
+pub use multi::{MultiEngine, QueryId};
+pub use result::{Match, MatchKind};
+pub use stats::MachineStats;

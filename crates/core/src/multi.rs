@@ -1,0 +1,265 @@
+//! Multi-query evaluation: many TwigM machines over one scan.
+//!
+//! The paper's motivating applications — stock tickers, sports feeds,
+//! personalized newspapers — are publish/subscribe systems: *many*
+//! standing queries watch *one* stream. Because TwigM machines are
+//! independent consumers of the same SAX events, running `k` queries costs
+//! one parse plus `k` machine updates, not `k` parses. [`MultiEngine`]
+//! packages that: register queries, stream a document once, receive
+//! `(query index, match)` pairs as they become decidable.
+
+use std::io::Read;
+
+use vitex_xmlsax::{XmlEvent, XmlReader};
+use vitex_xpath::query_tree::QueryTree;
+
+use crate::builder::EvalMode;
+use crate::error::EngineResult;
+use crate::machine::TwigM;
+use crate::result::{Match, NodeId};
+use crate::stats::MachineStats;
+
+/// A registered query's handle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct QueryId(pub usize);
+
+/// Summary of one multi-query run.
+#[derive(Debug, Clone)]
+pub struct MultiOutput {
+    /// Matches per query, in emission order (indexed by [`QueryId`]).
+    pub matches: Vec<Vec<Match>>,
+    /// Machine statistics per query.
+    pub stats: Vec<MachineStats>,
+    /// Elements seen in the single scan.
+    pub elements: u64,
+}
+
+/// Evaluates many queries in a single sequential scan.
+pub struct MultiEngine {
+    machines: Vec<TwigM>,
+    queries: Vec<String>,
+}
+
+impl MultiEngine {
+    /// Creates an empty engine.
+    pub fn new() -> Self {
+        MultiEngine { machines: Vec::new(), queries: Vec::new() }
+    }
+
+    /// Registers a query; returns its handle.
+    pub fn add_query(&mut self, query: &str) -> EngineResult<QueryId> {
+        let tree = QueryTree::parse(query)?;
+        self.add_tree(&tree)
+    }
+
+    /// Registers an already-built query tree.
+    pub fn add_tree(&mut self, tree: &QueryTree) -> EngineResult<QueryId> {
+        let machine = TwigM::with_mode(tree, EvalMode::Compact)?;
+        let id = QueryId(self.machines.len());
+        self.queries.push(tree.original().to_owned());
+        self.machines.push(machine);
+        Ok(id)
+    }
+
+    /// Registered query count.
+    pub fn len(&self) -> usize {
+        self.machines.len()
+    }
+
+    /// Whether no queries are registered.
+    pub fn is_empty(&self) -> bool {
+        self.machines.is_empty()
+    }
+
+    /// The canonical text of a registered query.
+    pub fn query_text(&self, id: QueryId) -> &str {
+        &self.queries[id.0]
+    }
+
+    /// Streams `reader` once through every registered machine. `on_match`
+    /// fires with the originating query's id the moment a solution is
+    /// decidable.
+    pub fn run<R: Read, F: FnMut(QueryId, Match)>(
+        &mut self,
+        mut reader: XmlReader<R>,
+        mut on_match: F,
+    ) -> EngineResult<MultiOutput> {
+        for m in &mut self.machines {
+            m.reset();
+        }
+        let mut matches: Vec<Vec<Match>> = self.machines.iter().map(|_| Vec::new()).collect();
+        let mut next_id: NodeId = 0;
+        let mut elements = 0u64;
+        loop {
+            match reader.next_event()? {
+                XmlEvent::StartElement(e) => {
+                    elements += 1;
+                    let elem_id = next_id;
+                    next_id += 1 + e.attributes.len() as u64;
+                    for (qi, m) in self.machines.iter_mut().enumerate() {
+                        m.start_element(
+                            e.name.as_str(),
+                            e.level,
+                            &e.attributes,
+                            elem_id,
+                            elem_id + 1,
+                            e.span,
+                            &mut |hit| {
+                                matches[qi].push(hit.clone());
+                                on_match(QueryId(qi), hit);
+                            },
+                        );
+                    }
+                }
+                XmlEvent::Characters(c) => {
+                    let id = next_id;
+                    next_id += 1;
+                    for (qi, m) in self.machines.iter_mut().enumerate() {
+                        m.characters(&c.text, c.level, id, c.span, &mut |hit| {
+                            matches[qi].push(hit.clone());
+                            on_match(QueryId(qi), hit);
+                        });
+                    }
+                }
+                XmlEvent::EndElement(e) => {
+                    for (qi, m) in self.machines.iter_mut().enumerate() {
+                        m.end_element(e.name.as_str(), e.level, e.element_span, &mut |hit| {
+                            matches[qi].push(hit.clone());
+                            on_match(QueryId(qi), hit);
+                        });
+                    }
+                }
+                XmlEvent::EndDocument => break,
+                _ => {}
+            }
+        }
+        Ok(MultiOutput {
+            matches,
+            stats: self.machines.iter().map(|m| m.stats().clone()).collect(),
+            elements,
+        })
+    }
+}
+
+impl Default for MultiEngine {
+    fn default() -> Self {
+        MultiEngine::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn multiple_queries_one_scan() {
+        let mut multi = MultiEngine::new();
+        let qa = multi.add_query("//a").unwrap();
+        let qb = multi.add_query("//b").unwrap();
+        let qab = multi.add_query("//a/b").unwrap();
+        let xml = "<a><b/><c><b/></c></a>";
+        let out = multi.run(XmlReader::from_str(xml), |_, _| {}).unwrap();
+        assert_eq!(out.matches[qa.0].len(), 1);
+        assert_eq!(out.matches[qb.0].len(), 2);
+        assert_eq!(out.matches[qab.0].len(), 1);
+        assert_eq!(out.elements, 4);
+    }
+
+    #[test]
+    fn results_agree_with_single_engines() {
+        let xml = vitex_xmlgen_free::random_doc(99);
+        let queries = ["//a", "//a[b]", "//a/@id", "//b/text()", "//a//b[c]"];
+        let mut multi = MultiEngine::new();
+        for q in &queries {
+            multi.add_query(q).unwrap();
+        }
+        let out = multi.run(XmlReader::from_str(&xml), |_, _| {}).unwrap();
+        for (i, q) in queries.iter().enumerate() {
+            let single = crate::engine::evaluate_str(&xml, q).unwrap();
+            let multi_ids: Vec<u64> = out.matches[i].iter().map(|m| m.node).collect();
+            let single_ids: Vec<u64> = single.iter().map(|m| m.node).collect();
+            assert_eq!(multi_ids, single_ids, "query {q}");
+        }
+    }
+
+    #[test]
+    fn callback_carries_query_ids() {
+        let mut multi = MultiEngine::new();
+        multi.add_query("//a").unwrap();
+        multi.add_query("//b").unwrap();
+        let mut hits = Vec::new();
+        multi
+            .run(XmlReader::from_str("<a><b/></a>"), |q, m| hits.push((q.0, m.node)))
+            .unwrap();
+        hits.sort_unstable();
+        assert_eq!(hits, [(0, 0), (1, 1)]);
+    }
+
+    #[test]
+    fn query_text_and_introspection() {
+        let mut multi = MultiEngine::default();
+        assert!(multi.is_empty());
+        let id = multi.add_query("//a[ b ]").unwrap();
+        assert_eq!(multi.len(), 1);
+        assert_eq!(multi.query_text(id), "//a[b]");
+    }
+
+    #[test]
+    fn engine_is_reusable() {
+        let mut multi = MultiEngine::new();
+        let q = multi.add_query("//b").unwrap();
+        let a = multi.run(XmlReader::from_str("<a><b/></a>"), |_, _| {}).unwrap();
+        let b = multi.run(XmlReader::from_str("<a><b/><b/></a>"), |_, _| {}).unwrap();
+        assert_eq!(a.matches[q.0].len(), 1);
+        assert_eq!(b.matches[q.0].len(), 2);
+    }
+
+    /// A tiny deterministic random document without depending on
+    /// vitex-xmlgen (which would be a cyclic dev-dependency).
+    mod vitex_xmlgen_free {
+        pub fn random_doc(seed: u64) -> String {
+            let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+            let mut next = move |n: u64| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                state % n
+            };
+            let mut out = String::from("<r>");
+            let mut depth = 1;
+            for _ in 0..120 {
+                match next(5) {
+                    0 | 1 if depth < 8 => {
+                        let tag = ["a", "b", "c"][next(3) as usize];
+                        if next(3) == 0 {
+                            out.push_str(&format!("<{tag} id=\"v{}\">", next(3)));
+                        } else {
+                            out.push_str(&format!("<{tag}>"));
+                        }
+                        // remember with a marker on the stack via depth only
+                        STACK.with(|s| s.borrow_mut().push(tag));
+                        depth += 1;
+                    }
+                    2 if depth > 1 => {
+                        let tag = STACK.with(|s| s.borrow_mut().pop().unwrap());
+                        out.push_str(&format!("</{tag}>"));
+                        depth -= 1;
+                    }
+                    _ => out.push_str(["x", "y", "7"][next(3) as usize]),
+                }
+            }
+            while depth > 1 {
+                let tag = STACK.with(|s| s.borrow_mut().pop().unwrap());
+                out.push_str(&format!("</{tag}>"));
+                depth -= 1;
+            }
+            out.push_str("</r>");
+            out
+        }
+
+        thread_local! {
+            static STACK: std::cell::RefCell<Vec<&'static str>> =
+                const { std::cell::RefCell::new(Vec::new()) };
+        }
+    }
+}

@@ -1,0 +1,176 @@
+//! Machine instrumentation.
+//!
+//! The paper's headline memory claim ("stable at 1 MB while streaming a
+//! 75 MB Protein dataset") is about the *machine's* state, not the process
+//! RSS. [`MachineStats`] accounts for exactly that state — stack entries,
+//! candidate buffers, string-value accumulators — so experiments E1 and E6
+//! can report peak machine-resident bytes without an OS profiler.
+
+/// Counters and gauges maintained by the TwigM machine.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MachineStats {
+    /// Stack pushes performed.
+    pub pushes: u64,
+    /// Stack pops performed.
+    pub pops: u64,
+    /// Match-flag bits set on parent entries (the paper's "bookkeeping").
+    pub flag_propagations: u64,
+    /// Candidates created (self, attribute, text).
+    pub candidates_created: u64,
+    /// Candidates forwarded one query level up.
+    pub candidates_forwarded: u64,
+    /// Candidates lazily re-attached to an outer entry of the same stack.
+    pub candidates_inherited: u64,
+    /// Candidates discarded because their last compatible ancestor died.
+    pub candidates_discarded: u64,
+    /// Candidate instances absorbed into an existing instance of the same
+    /// solution on arrival at an entry (range-merge).
+    pub candidates_merged: u64,
+    /// Candidate copies made (down-copies at forward time in compact mode;
+    /// range fan-out in eager mode).
+    pub candidates_copied: u64,
+    /// Solutions emitted.
+    pub emitted: u64,
+    /// Duplicate emissions suppressed (eager mode only; compact mode must
+    /// never produce any, which the differential tests assert).
+    pub duplicates_suppressed: u64,
+
+    /// Current live stack entries across all machine nodes.
+    pub live_entries: u64,
+    /// Peak of `live_entries`.
+    pub peak_entries: u64,
+    /// Current live candidates across all entries.
+    pub live_candidates: u64,
+    /// Peak of `live_candidates`.
+    pub peak_candidates: u64,
+    /// Current machine-resident bytes (entries + candidates + accumulated
+    /// string-value text).
+    pub live_bytes: u64,
+    /// Peak of `live_bytes`.
+    pub peak_bytes: u64,
+}
+
+impl MachineStats {
+    pub(crate) fn on_push(&mut self, entry_bytes: u64) {
+        self.pushes += 1;
+        self.live_entries += 1;
+        self.peak_entries = self.peak_entries.max(self.live_entries);
+        self.add_bytes(entry_bytes);
+    }
+
+    pub(crate) fn on_pop(&mut self, entry_bytes: u64) {
+        self.pops += 1;
+        self.live_entries -= 1;
+        self.sub_bytes(entry_bytes);
+    }
+
+    pub(crate) fn on_candidate_created(&mut self, bytes: u64) {
+        self.candidates_created += 1;
+        self.live_candidates += 1;
+        self.peak_candidates = self.peak_candidates.max(self.live_candidates);
+        self.add_bytes(bytes);
+    }
+
+    pub(crate) fn on_candidate_dropped(&mut self, bytes: u64) {
+        self.candidates_discarded += 1;
+        self.live_candidates -= 1;
+        self.sub_bytes(bytes);
+    }
+
+    pub(crate) fn on_candidate_copied(&mut self, bytes: u64) {
+        self.candidates_copied += 1;
+        self.live_candidates += 1;
+        self.peak_candidates = self.peak_candidates.max(self.live_candidates);
+        self.add_bytes(bytes);
+    }
+
+    pub(crate) fn on_candidate_merged(&mut self, bytes: u64) {
+        self.candidates_merged += 1;
+        self.live_candidates -= 1;
+        self.sub_bytes(bytes);
+    }
+
+    pub(crate) fn on_candidate_suppressed(&mut self, bytes: u64) {
+        self.duplicates_suppressed += 1;
+        self.live_candidates -= 1;
+        self.sub_bytes(bytes);
+    }
+
+    pub(crate) fn on_candidate_emitted(&mut self, bytes: u64) {
+        self.emitted += 1;
+        self.live_candidates -= 1;
+        self.sub_bytes(bytes);
+    }
+
+    pub(crate) fn add_bytes(&mut self, bytes: u64) {
+        self.live_bytes += bytes;
+        self.peak_bytes = self.peak_bytes.max(self.live_bytes);
+    }
+
+    pub(crate) fn sub_bytes(&mut self, bytes: u64) {
+        debug_assert!(self.live_bytes >= bytes, "byte accounting underflow");
+        self.live_bytes = self.live_bytes.saturating_sub(bytes);
+    }
+
+    /// Human-readable one-line summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "pushes={} pops={} flags={} cands(created={} fwd={} inherit={} drop={}) \
+             emitted={} peak_entries={} peak_cands={} peak_bytes={}",
+            self.pushes,
+            self.pops,
+            self.flag_propagations,
+            self.candidates_created,
+            self.candidates_forwarded,
+            self.candidates_inherited,
+            self.candidates_discarded,
+            self.emitted,
+            self.peak_entries,
+            self.peak_candidates,
+            self.peak_bytes,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_pop_tracks_peaks() {
+        let mut s = MachineStats::default();
+        s.on_push(100);
+        s.on_push(100);
+        assert_eq!(s.live_entries, 2);
+        assert_eq!(s.peak_entries, 2);
+        assert_eq!(s.peak_bytes, 200);
+        s.on_pop(100);
+        assert_eq!(s.live_entries, 1);
+        assert_eq!(s.peak_entries, 2);
+        assert_eq!(s.live_bytes, 100);
+        assert_eq!(s.peak_bytes, 200);
+    }
+
+    #[test]
+    fn candidate_lifecycle() {
+        let mut s = MachineStats::default();
+        s.on_candidate_created(48);
+        s.on_candidate_created(48);
+        assert_eq!(s.peak_candidates, 2);
+        s.on_candidate_emitted(48);
+        s.on_candidate_dropped(48);
+        assert_eq!(s.live_candidates, 0);
+        assert_eq!(s.emitted, 1);
+        assert_eq!(s.candidates_discarded, 1);
+        assert_eq!(s.live_bytes, 0);
+    }
+
+    #[test]
+    fn summary_mentions_key_fields() {
+        let mut s = MachineStats::default();
+        s.on_push(10);
+        let text = s.summary();
+        assert!(text.contains("pushes=1"));
+        assert!(text.contains("peak_bytes=10"));
+    }
+}

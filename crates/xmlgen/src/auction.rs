@@ -1,0 +1,160 @@
+//! An XMark-inspired auction-site snapshot.
+//!
+//! XMark was the standard scalable XML benchmark of the ViteX era; this is
+//! a compact homage with the same feel: `site/regions/.../item` listings
+//! and `site/people/person` profiles. It diversifies the data-scaling
+//! experiment (E4) beyond the protein shape: deeper paths, more repeated
+//! tag names across branches, mixed text/element content.
+
+use std::io::Write;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use vitex_xmlsax::writer::{WriteResult, XmlWriter};
+
+/// Configuration for the auction generator.
+#[derive(Debug, Clone)]
+pub struct AuctionConfig {
+    /// RNG seed.
+    pub seed: u64,
+    /// Approximate output size in bytes.
+    pub target_bytes: u64,
+}
+
+impl Default for AuctionConfig {
+    fn default() -> Self {
+        AuctionConfig { seed: 2005, target_bytes: 1 << 20 }
+    }
+}
+
+impl AuctionConfig {
+    /// A config sized to `bytes`.
+    pub fn sized(bytes: u64) -> Self {
+        AuctionConfig { target_bytes: bytes, ..Default::default() }
+    }
+}
+
+const REGIONS: &[&str] = &["africa", "asia", "australia", "europe", "namerica", "samerica"];
+const WORDS: &[&str] = &[
+    "vintage", "rare", "antique", "mint", "boxed", "signed", "limited", "edition", "classic",
+    "original",
+];
+const FIRST: &[&str] = &["Yi", "Susan", "Yifeng", "Ada", "Alan", "Grace", "Edsger", "Barbara"];
+const LAST: &[&str] = &["Chen", "Davidson", "Zheng", "Lovelace", "Turing", "Hopper", "Liskov"];
+
+/// Streams an auction site into `writer`.
+pub fn generate<W: Write>(writer: &mut XmlWriter<W>, config: &AuctionConfig) -> WriteResult<()> {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    writer.declaration()?;
+    writer.start_element("site")?;
+
+    writer.start_element("regions")?;
+    let mut item = 0u64;
+    // Alternate regions; keep ~60% of the byte budget for items.
+    while writer.bytes_written() < config.target_bytes * 3 / 5 {
+        let region = REGIONS[(item as usize) % REGIONS.len()];
+        writer.start_element(region)?;
+        for _ in 0..8 {
+            item += 1;
+            write_item(writer, &mut rng, item)?;
+        }
+        writer.end_element()?;
+    }
+    writer.end_element()?; // regions
+
+    writer.start_element("people")?;
+    let mut person = 0u64;
+    while writer.bytes_written() < config.target_bytes {
+        person += 1;
+        write_person(writer, &mut rng, person)?;
+    }
+    writer.end_element()?; // people
+
+    writer.end_element() // site
+}
+
+fn write_item<W: Write>(w: &mut XmlWriter<W>, rng: &mut StdRng, id: u64) -> WriteResult<()> {
+    w.start_element("item")?;
+    w.attribute("id", &format!("item{id}"))?;
+    let name: String = (0..3)
+        .map(|_| WORDS[rng.gen_range(0..WORDS.len())])
+        .collect::<Vec<_>>()
+        .join(" ");
+    w.leaf("name", &name)?;
+    w.leaf("payment", if rng.gen_bool(0.5) { "Creditcard" } else { "Cash" })?;
+    w.start_element("description")?;
+    w.start_element("parlist")?;
+    for _ in 0..rng.gen_range(1..=3) {
+        let text: String = (0..rng.gen_range(4..12))
+            .map(|_| WORDS[rng.gen_range(0..WORDS.len())])
+            .collect::<Vec<_>>()
+            .join(" ");
+        w.leaf("listitem", &text)?;
+    }
+    w.end_element()?; // parlist
+    w.end_element()?; // description
+    w.start_element("quantity")?;
+    w.text(&rng.gen_range(1..10).to_string())?;
+    w.end_element()?;
+    w.end_element() // item
+}
+
+fn write_person<W: Write>(w: &mut XmlWriter<W>, rng: &mut StdRng, id: u64) -> WriteResult<()> {
+    w.start_element("person")?;
+    w.attribute("id", &format!("person{id}"))?;
+    let name = format!(
+        "{} {}",
+        FIRST[rng.gen_range(0..FIRST.len())],
+        LAST[rng.gen_range(0..LAST.len())]
+    );
+    w.leaf("name", &name)?;
+    w.leaf("emailaddress", &format!("mailto:p{id}@example.org"))?;
+    if rng.gen_bool(0.7) {
+        w.start_element("profile")?;
+        w.attribute("income", &format!("{}", rng.gen_range(20_000..200_000)))?;
+        for _ in 0..rng.gen_range(1..=3) {
+            w.start_element("interest")?;
+            w.attribute("category", &format!("cat{}", rng.gen_range(0..20)))?;
+            w.end_element()?;
+        }
+        w.end_element()?;
+    }
+    w.end_element() // person
+}
+
+/// Renders an auction site to a string.
+pub fn to_string(config: &AuctionConfig) -> String {
+    crate::to_string(|w| generate(w, config))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_wellformed_sized_xml() {
+        let cfg = AuctionConfig::sized(100_000);
+        let xml = to_string(&cfg);
+        assert!(xml.len() as u64 >= cfg.target_bytes);
+        vitex_xmlsax::XmlReader::from_str(&xml).collect_events().unwrap();
+    }
+
+    #[test]
+    fn queries_find_expected_shapes() {
+        let xml = to_string(&AuctionConfig::sized(60_000));
+        let items = vitex_core::evaluate_str(&xml, "//item[payment = 'Creditcard']/@id").unwrap();
+        assert!(!items.is_empty());
+        let people =
+            vitex_core::evaluate_str(&xml, "//person[profile/interest]/name").unwrap();
+        assert!(!people.is_empty());
+        let deep = vitex_core::evaluate_str(&xml, "//regions//item/description//listitem").unwrap();
+        assert!(!deep.is_empty());
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = to_string(&AuctionConfig { seed: 5, target_bytes: 20_000 });
+        let b = to_string(&AuctionConfig { seed: 5, target_bytes: 20_000 });
+        assert_eq!(a, b);
+    }
+}

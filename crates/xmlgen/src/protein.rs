@@ -1,0 +1,204 @@
+//! A synthetic PIR Protein Sequence Database.
+//!
+//! The paper's evaluation dataset (its reference \[2\], the Georgetown Protein
+//! Information Resource export from the UW XML data repository) is a
+//! shallow, wide document: one `ProteinDatabase` root with thousands of
+//! `ProteinEntry` children, each carrying an `id` attribute, bibliographic
+//! `reference` blocks and a long amino-acid `sequence`. The paper's query
+//! `//ProteinEntry[reference]/@id` touches exactly that shape.
+//!
+//! This generator reproduces the shape and the size knob; entry content is
+//! seeded-random so documents are reproducible. Roughly 1 KiB per entry
+//! with the default configuration.
+
+use std::io::Write;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use vitex_xmlsax::writer::{WriteResult, XmlWriter};
+
+/// Configuration for the protein generator.
+#[derive(Debug, Clone)]
+pub struct ProteinConfig {
+    /// RNG seed (documents are deterministic per seed).
+    pub seed: u64,
+    /// Approximate output size in bytes; entries are emitted until the
+    /// writer has produced at least this much.
+    pub target_bytes: u64,
+    /// Fraction of entries that carry a `reference` block (the paper's Q2
+    /// predicate selects these).
+    pub reference_fraction: f64,
+    /// Length of the amino-acid `sequence` text per entry.
+    pub sequence_len: usize,
+}
+
+impl Default for ProteinConfig {
+    fn default() -> Self {
+        ProteinConfig {
+            seed: 2005,
+            target_bytes: 1 << 20,
+            reference_fraction: 0.85,
+            sequence_len: 400,
+        }
+    }
+}
+
+impl ProteinConfig {
+    /// A config sized to `bytes`.
+    pub fn sized(bytes: u64) -> Self {
+        ProteinConfig { target_bytes: bytes, ..Default::default() }
+    }
+}
+
+const AMINO: &[u8] = b"ACDEFGHIKLMNPQRSTVWY";
+const ORGANISMS: &[&str] = &[
+    "Homo sapiens",
+    "Mus musculus",
+    "Saccharomyces cerevisiae",
+    "Escherichia coli",
+    "Drosophila melanogaster",
+    "Arabidopsis thaliana",
+];
+const CLASSIFICATIONS: &[&str] = &[
+    "oxidoreductase",
+    "transferase",
+    "hydrolase",
+    "lyase",
+    "isomerase",
+    "ligase",
+];
+const AUTHOR_SURNAMES: &[&str] =
+    &["Chen", "Davidson", "Zheng", "Smith", "Tanaka", "Mueller", "Garcia", "Ivanov"];
+
+/// Streams a protein database into `writer`.
+pub fn generate<W: Write>(writer: &mut XmlWriter<W>, config: &ProteinConfig) -> WriteResult<()> {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    writer.declaration()?;
+    writer.start_element("ProteinDatabase")?;
+    let mut entry = 0u64;
+    while writer.bytes_written() < config.target_bytes {
+        entry += 1;
+        write_entry(writer, &mut rng, entry, config)?;
+    }
+    writer.end_element()?;
+    Ok(())
+}
+
+fn write_entry<W: Write>(
+    w: &mut XmlWriter<W>,
+    rng: &mut StdRng,
+    entry: u64,
+    config: &ProteinConfig,
+) -> WriteResult<()> {
+    w.start_element("ProteinEntry")?;
+    w.attribute("id", &format!("PIR{entry:07}"))?;
+
+    w.start_element("header")?;
+    w.leaf("uid", &format!("U{entry:07}"))?;
+    w.leaf("accession", &format!("A{:06}", rng.gen_range(0..1_000_000)))?;
+    w.leaf("created_date", &random_date(rng))?;
+    w.leaf("seq-rev_date", &random_date(rng))?;
+    w.end_element()?;
+
+    w.start_element("protein")?;
+    w.leaf("name", &format!("protein {}", rng.gen_range(1..100_000)))?;
+    w.leaf(
+        "classification",
+        CLASSIFICATIONS[rng.gen_range(0..CLASSIFICATIONS.len())],
+    )?;
+    w.end_element()?;
+
+    w.start_element("organism")?;
+    w.leaf("source", ORGANISMS[rng.gen_range(0..ORGANISMS.len())])?;
+    w.leaf("common", "synthetic")?;
+    w.end_element()?;
+
+    if rng.gen_bool(config.reference_fraction) {
+        let refs = rng.gen_range(1..=3);
+        for r in 0..refs {
+            w.start_element("reference")?;
+            w.start_element("refinfo")?;
+            w.attribute("refid", &format!("R{entry}.{r}"))?;
+            w.start_element("authors")?;
+            for _ in 0..rng.gen_range(1..=4) {
+                let surname = AUTHOR_SURNAMES[rng.gen_range(0..AUTHOR_SURNAMES.len())];
+                let initial = (b'A' + rng.gen_range(0..26)) as char;
+                w.leaf("author", &format!("{surname}, {initial}."))?;
+            }
+            w.end_element()?; // authors
+            w.leaf("citation", &format!("J. Synth. Biol. {}", rng.gen_range(1..400)))?;
+            w.leaf("year", &rng.gen_range(1970..2005).to_string())?;
+            w.end_element()?; // refinfo
+            w.end_element()?; // reference
+        }
+    }
+
+    w.start_element("summary")?;
+    w.leaf("length", &config.sequence_len.to_string())?;
+    w.leaf("type", "complete")?;
+    w.end_element()?;
+
+    let seq: String = (0..config.sequence_len)
+        .map(|_| AMINO[rng.gen_range(0..AMINO.len())] as char)
+        .collect();
+    w.leaf("sequence", &seq)?;
+
+    w.end_element()?; // ProteinEntry
+    Ok(())
+}
+
+/// Renders a protein database to a string.
+pub fn to_string(config: &ProteinConfig) -> String {
+    crate::to_string(|w| generate(w, config))
+}
+
+fn random_date(rng: &mut StdRng) -> String {
+    format!(
+        "{:04}-{:02}-{:02}",
+        rng.gen_range(1985..2005),
+        rng.gen_range(1..=12),
+        rng.gen_range(1..=28)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_wellformed_xml_of_target_size() {
+        let cfg = ProteinConfig::sized(64 * 1024);
+        let xml = to_string(&cfg);
+        assert!(xml.len() as u64 >= cfg.target_bytes);
+        assert!((xml.len() as u64) < cfg.target_bytes + 8 * 1024, "one entry overshoot max");
+        let events = vitex_xmlsax::XmlReader::from_str(&xml).collect_events().unwrap();
+        assert!(events.len() > 100);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = to_string(&ProteinConfig { seed: 7, target_bytes: 10_000, ..Default::default() });
+        let b = to_string(&ProteinConfig { seed: 7, target_bytes: 10_000, ..Default::default() });
+        let c = to_string(&ProteinConfig { seed: 8, target_bytes: 10_000, ..Default::default() });
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn paper_query_selects_reference_entries() {
+        let cfg = ProteinConfig { target_bytes: 60_000, reference_fraction: 0.5, ..Default::default() };
+        let xml = to_string(&cfg);
+        let all = vitex_core::evaluate_str(&xml, "//ProteinEntry/@id").unwrap();
+        let with_ref =
+            vitex_core::evaluate_str(&xml, "//ProteinEntry[reference]/@id").unwrap();
+        assert!(!with_ref.is_empty());
+        assert!(with_ref.len() < all.len(), "the predicate must be selective");
+    }
+
+    #[test]
+    fn entries_have_pir_ids() {
+        let xml = to_string(&ProteinConfig::sized(8_000));
+        let ms = vitex_core::evaluate_str(&xml, "//ProteinEntry/@id").unwrap();
+        assert!(ms.iter().all(|m| m.value.as_deref().unwrap().starts_with("PIR")));
+    }
+}

@@ -1,0 +1,203 @@
+//! Recursive documents in the shape of the paper's Figure 1.
+//!
+//! Two generators:
+//!
+//! * [`figure1`] — the *literal* 17-line sample document from the paper,
+//!   used by the worked-example tests.
+//! * [`generate`] — the parameterized family: `section` nested to depth
+//!   `s`, inside the innermost section `table` nested to depth `t`, a
+//!   `cell` in the innermost table, and `position` / `author` witnesses
+//!   placed behind the candidates (so predicate satisfaction arrives late,
+//!   exactly as the paper's motivation describes). The number of pattern
+//!   matches for the cell grows as `s × t` per (section, table) choice —
+//!   and exponentially once queries chain more `//` steps — making this
+//!   the E3/E6 stress workload.
+
+use std::io::Write;
+
+use vitex_xmlsax::writer::{WriteResult, XmlWriter};
+
+/// Parameters for the Figure-1 family.
+#[derive(Debug, Clone)]
+pub struct RecursiveConfig {
+    /// Nesting depth of `section` elements.
+    pub section_depth: usize,
+    /// Nesting depth of `table` elements inside the innermost section.
+    pub table_depth: usize,
+    /// How many independent section towers to emit under the root.
+    pub towers: usize,
+    /// Which tables (counting from the innermost, 0-based) carry a
+    /// `position` child. `None` = the outermost only (like the paper's
+    /// `table_5`... which is satisfied; the paper gives `position` to the
+    /// outermost of the three tables).
+    pub position_on_outermost_only: bool,
+    /// Whether the outermost section carries an `author` child (emitted
+    /// after everything else, line 15 of the paper's figure).
+    pub author_present: bool,
+}
+
+impl Default for RecursiveConfig {
+    fn default() -> Self {
+        RecursiveConfig {
+            section_depth: 3,
+            table_depth: 3,
+            towers: 1,
+            position_on_outermost_only: true,
+            author_present: true,
+        }
+    }
+}
+
+impl RecursiveConfig {
+    /// The paper's Figure 1 exactly (3 sections, 3 tables, position on the
+    /// outermost table, author on the outermost section).
+    pub fn paper() -> Self {
+        RecursiveConfig::default()
+    }
+
+    /// A square tower of the given depth.
+    pub fn square(depth: usize) -> Self {
+        RecursiveConfig { section_depth: depth, table_depth: depth, ..Default::default() }
+    }
+}
+
+/// Streams a Figure-1-family document into `writer`.
+pub fn generate<W: Write>(writer: &mut XmlWriter<W>, config: &RecursiveConfig) -> WriteResult<()> {
+    writer.start_element("book")?;
+    for _ in 0..config.towers {
+        tower(writer, config)?;
+    }
+    writer.end_element()
+}
+
+fn tower<W: Write>(w: &mut XmlWriter<W>, config: &RecursiveConfig) -> WriteResult<()> {
+    for _ in 0..config.section_depth {
+        w.start_element("section")?;
+    }
+    for _ in 0..config.table_depth {
+        w.start_element("table")?;
+    }
+    w.leaf("cell", "A")?;
+    // Close the inner tables; `position` goes on the outermost table
+    // *after* its nested tables (paper line 11), so predicate satisfaction
+    // for the outer table arrives after the candidates were recorded.
+    for d in 0..config.table_depth {
+        let is_outermost = d + 1 == config.table_depth;
+        if is_outermost || !config.position_on_outermost_only {
+            w.leaf("position", "B")?;
+        }
+        w.end_element()?; // table
+    }
+    for d in 0..config.section_depth {
+        let is_outermost = d + 1 == config.section_depth;
+        if is_outermost && config.author_present {
+            w.leaf("author", "C")?;
+        }
+        w.end_element()?; // section
+    }
+    Ok(())
+}
+
+/// The literal sample document of the paper's Figure 1 (line breaks as in
+/// the paper, `<cell> A </>` shorthand expanded).
+pub fn figure1() -> String {
+    "<book>\n\
+     <section>\n\
+     <section>\n\
+     <section>\n\
+     <table>\n\
+     <table>\n\
+     <table>\n\
+     <cell> A </cell>\n\
+     </table>\n\
+     </table>\n\
+     <position> B </position>\n\
+     </table>\n\
+     </section>\n\
+     </section>\n\
+     <author> C </author>\n\
+     </section>\n\
+     </book>"
+        .to_string()
+}
+
+/// A plain `a`-nesting document `<a><a>…</a></a>` of the given depth —
+/// the minimal workload on which `//a//a//…//a` chains explode
+/// combinatorially (E3's query-size axis).
+pub fn uniform_nesting(depth: usize) -> String {
+    let mut s = String::with_capacity(depth * 7 + 2);
+    for _ in 0..depth {
+        s.push_str("<a>");
+    }
+    s.push('x');
+    for _ in 0..depth {
+        s.push_str("</a>");
+    }
+    s
+}
+
+/// Renders a Figure-1-family document to a string.
+pub fn to_string(config: &RecursiveConfig) -> String {
+    crate::to_string(|w| generate(w, config))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const Q1: &str = "//section[author]//table[position]//cell";
+
+    #[test]
+    fn figure1_parses_and_matches_once() {
+        let xml = figure1();
+        let ms = vitex_core::evaluate_str(&xml, Q1).unwrap();
+        assert_eq!(ms.len(), 1, "the paper: only cell_8 qualifies");
+    }
+
+    #[test]
+    fn generated_paper_config_equals_figure1_semantically() {
+        let xml = to_string(&RecursiveConfig::paper());
+        let ms = vitex_core::evaluate_str(&xml, Q1).unwrap();
+        assert_eq!(ms.len(), 1);
+    }
+
+    #[test]
+    fn without_author_nothing_matches() {
+        let cfg = RecursiveConfig { author_present: false, ..RecursiveConfig::paper() };
+        let ms = vitex_core::evaluate_str(&to_string(&cfg), Q1).unwrap();
+        assert!(ms.is_empty());
+    }
+
+    #[test]
+    fn towers_multiply_matches() {
+        let cfg = RecursiveConfig { towers: 5, ..RecursiveConfig::paper() };
+        let ms = vitex_core::evaluate_str(&to_string(&cfg), Q1).unwrap();
+        assert_eq!(ms.len(), 5);
+    }
+
+    #[test]
+    fn position_on_every_table_multiplies_nothing_for_cell() {
+        // cell is unique per tower regardless of which tables qualify —
+        // matches are a set.
+        let cfg = RecursiveConfig { position_on_outermost_only: false, ..Default::default() };
+        let ms = vitex_core::evaluate_str(&to_string(&cfg), Q1).unwrap();
+        assert_eq!(ms.len(), 1);
+    }
+
+    #[test]
+    fn uniform_nesting_depth() {
+        let xml = uniform_nesting(5);
+        assert_eq!(xml, "<a><a><a><a><a>x</a></a></a></a></a>");
+        let ms = vitex_core::evaluate_str(&xml, "//a//a").unwrap();
+        assert_eq!(ms.len(), 4);
+    }
+
+    #[test]
+    fn square_scales() {
+        let xml = to_string(&RecursiveConfig::square(8));
+        let sections = vitex_core::evaluate_str(&xml, "//section").unwrap();
+        let tables = vitex_core::evaluate_str(&xml, "//table").unwrap();
+        assert_eq!(sections.len(), 8);
+        assert_eq!(tables.len(), 8);
+    }
+}

@@ -1,0 +1,373 @@
+//! Buffered, position-tracking byte scanner over any [`Read`].
+//!
+//! This is the lowest layer of the streaming parser: a fixed-size sliding
+//! window over the input with UTF-8 decoding, XML 1.0 §2.11 line-ending
+//! normalization (`\r\n` and bare `\r` become `\n`), and byte/line/column
+//! accounting. Memory use is bounded by the window size regardless of
+//! document size — the property the ViteX memory experiments rely on.
+
+use std::io::Read;
+
+use crate::error::{XmlError, XmlErrorKind, XmlResult};
+use crate::pos::TextPosition;
+
+/// Default sliding-window capacity. Large enough that refills are rare,
+/// small enough to keep the parser's footprint negligible next to the
+/// machine's own state.
+const DEFAULT_BUF_CAPACITY: usize = 64 * 1024;
+
+/// A buffered scanner with single-character lookahead primitives.
+pub struct Scanner<R: Read> {
+    source: R,
+    buf: Vec<u8>,
+    /// First unconsumed byte in `buf`.
+    start: usize,
+    /// One past the last valid byte in `buf`.
+    end: usize,
+    /// The underlying reader reported end-of-stream.
+    source_eof: bool,
+    pos: TextPosition,
+}
+
+impl<R: Read> Scanner<R> {
+    /// Creates a scanner with the default window size.
+    pub fn new(source: R) -> Self {
+        Scanner::with_capacity(source, DEFAULT_BUF_CAPACITY)
+    }
+
+    /// Creates a scanner with a specific window size (minimum 16 bytes).
+    pub fn with_capacity(source: R, capacity: usize) -> Self {
+        Scanner {
+            source,
+            buf: vec![0; capacity.max(16)],
+            start: 0,
+            end: 0,
+            source_eof: false,
+            pos: TextPosition::START,
+        }
+    }
+
+    /// Current position (of the next unconsumed byte).
+    pub fn position(&self) -> TextPosition {
+        self.pos
+    }
+
+    /// Current absolute byte offset.
+    pub fn offset(&self) -> u64 {
+        self.pos.offset
+    }
+
+    fn buffered(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Makes at least `n` bytes available in the window, unless the stream
+    /// ends first. Returns the number actually available (`< n` only at
+    /// end of stream).
+    fn ensure(&mut self, n: usize) -> XmlResult<usize> {
+        while self.buffered() < n && !self.source_eof {
+            // Slide the window if the tail has no room.
+            if self.end == self.buf.len() {
+                if self.start > 0 {
+                    self.buf.copy_within(self.start..self.end, 0);
+                    self.end -= self.start;
+                    self.start = 0;
+                }
+                if self.end == self.buf.len() {
+                    // A single construct larger than the window (only
+                    // possible for pathological lookahead requests; normal
+                    // scanning consumes as it goes). Grow geometrically.
+                    self.buf.resize(self.buf.len() * 2, 0);
+                }
+            }
+            let read = self
+                .source
+                .read(&mut self.buf[self.end..])
+                .map_err(|e| XmlError::new(XmlErrorKind::Io(e), self.pos))?;
+            if read == 0 {
+                self.source_eof = true;
+            } else {
+                self.end += read;
+            }
+        }
+        Ok(self.buffered().min(n))
+    }
+
+    /// Peeks the next byte without consuming it.
+    pub fn peek_byte(&mut self) -> XmlResult<Option<u8>> {
+        if self.ensure(1)? == 0 {
+            return Ok(None);
+        }
+        Ok(Some(self.buf[self.start]))
+    }
+
+    /// Peeks the byte at lookahead distance `i` (0 = next byte).
+    pub fn peek_at(&mut self, i: usize) -> XmlResult<Option<u8>> {
+        if self.ensure(i + 1)? < i + 1 {
+            return Ok(None);
+        }
+        Ok(Some(self.buf[self.start + i]))
+    }
+
+    /// Whether the unconsumed input starts with `prefix`.
+    pub fn starts_with(&mut self, prefix: &[u8]) -> XmlResult<bool> {
+        if self.ensure(prefix.len())? < prefix.len() {
+            return Ok(false);
+        }
+        Ok(&self.buf[self.start..self.start + prefix.len()] == prefix)
+    }
+
+    /// Consumes `prefix`, which the caller has verified (ASCII only — the
+    /// position advance assumes one column per byte).
+    pub fn consume_ascii(&mut self, prefix: &[u8]) -> XmlResult<()> {
+        debug_assert!(prefix.is_ascii());
+        debug_assert!(self.buffered() >= prefix.len());
+        for &b in prefix {
+            self.start += 1;
+            self.pos.advance(b as char, 1);
+        }
+        Ok(())
+    }
+
+    /// Consumes `n` raw bytes the caller has already peeked, advancing the
+    /// offset without newline accounting (used for the UTF-8 BOM).
+    pub fn skip_raw(&mut self, n: usize) {
+        debug_assert!(self.buffered() >= n);
+        self.start += n;
+        self.pos.offset += n as u64;
+    }
+
+    /// Consumes and returns the next character, applying line-ending
+    /// normalization: `\r\n` and bare `\r` are delivered as `\n`.
+    ///
+    /// Returns `Ok(None)` at end of stream.
+    pub fn next_char(&mut self) -> XmlResult<Option<char>> {
+        let first = match self.peek_byte()? {
+            Some(b) => b,
+            None => return Ok(None),
+        };
+        if first == b'\r' {
+            // Normalize; consume a following '\n' too if present.
+            let mut consumed = 1;
+            if self.peek_at(1)? == Some(b'\n') {
+                consumed = 2;
+            }
+            self.start += consumed;
+            self.pos.advance('\n', consumed);
+            return Ok(Some('\n'));
+        }
+        if first < 0x80 {
+            self.start += 1;
+            self.pos.advance(first as char, 1);
+            return Ok(Some(first as char));
+        }
+        // Multi-byte UTF-8.
+        let len = utf8_len(first)
+            .ok_or_else(|| XmlError::new(XmlErrorKind::InvalidUtf8, self.pos))?;
+        if self.ensure(len)? < len {
+            return Err(XmlError::new(XmlErrorKind::InvalidUtf8, self.pos));
+        }
+        let bytes = &self.buf[self.start..self.start + len];
+        let s = std::str::from_utf8(bytes)
+            .map_err(|_| XmlError::new(XmlErrorKind::InvalidUtf8, self.pos))?;
+        let ch = s.chars().next().expect("non-empty validated UTF-8");
+        self.start += len;
+        self.pos.advance(ch, len);
+        Ok(Some(ch))
+    }
+
+    /// Peeks the next character (with the same normalization as
+    /// [`Scanner::next_char`]) without consuming it.
+    pub fn peek_char(&mut self) -> XmlResult<Option<char>> {
+        let first = match self.peek_byte()? {
+            Some(b) => b,
+            None => return Ok(None),
+        };
+        if first == b'\r' {
+            return Ok(Some('\n'));
+        }
+        if first < 0x80 {
+            return Ok(Some(first as char));
+        }
+        let len = utf8_len(first)
+            .ok_or_else(|| XmlError::new(XmlErrorKind::InvalidUtf8, self.pos))?;
+        if self.ensure(len)? < len {
+            return Err(XmlError::new(XmlErrorKind::InvalidUtf8, self.pos));
+        }
+        let bytes = &self.buf[self.start..self.start + len];
+        let s = std::str::from_utf8(bytes)
+            .map_err(|_| XmlError::new(XmlErrorKind::InvalidUtf8, self.pos))?;
+        Ok(s.chars().next())
+    }
+
+    /// Fast path: consumes a run of bytes for which `pred` holds, appending
+    /// them to `out`. Stops at the first byte failing `pred`, at any
+    /// non-ASCII byte, at `\r` (so normalization can kick in), or at end of
+    /// stream. Returns how many bytes were consumed.
+    pub fn consume_ascii_run(
+        &mut self,
+        pred: impl Fn(u8) -> bool,
+        out: &mut String,
+    ) -> XmlResult<usize> {
+        let mut total = 0;
+        loop {
+            if self.buffered() == 0 && self.ensure(1)? == 0 {
+                break;
+            }
+            let window = &self.buf[self.start..self.end];
+            let mut n = 0;
+            for &b in window {
+                if b >= 0x80 || b == b'\r' || !pred(b) {
+                    break;
+                }
+                n += 1;
+            }
+            if n == 0 {
+                break;
+            }
+            let run = &self.buf[self.start..self.start + n];
+            // Run is ASCII sans '\r'; safe to push as str.
+            out.push_str(std::str::from_utf8(run).expect("ascii run"));
+            // Position: count newlines for line tracking.
+            for &b in &self.buf[self.start..self.start + n] {
+                self.pos.advance(b as char, 1);
+            }
+            self.start += n;
+            total += n;
+            if n < window.len() {
+                break; // stopped at a boundary byte, not at window end
+            }
+        }
+        Ok(total)
+    }
+}
+
+/// Length of a UTF-8 sequence from its first byte, or `None` if invalid.
+fn utf8_len(first: u8) -> Option<usize> {
+    match first {
+        0x00..=0x7F => Some(1),
+        0xC2..=0xDF => Some(2),
+        0xE0..=0xEF => Some(3),
+        0xF0..=0xF4 => Some(4),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn scan(s: &str) -> Scanner<Cursor<Vec<u8>>> {
+        Scanner::new(Cursor::new(s.as_bytes().to_vec()))
+    }
+
+    #[test]
+    fn reads_chars_and_tracks_position() {
+        let mut sc = scan("ab\ncd");
+        assert_eq!(sc.next_char().unwrap(), Some('a'));
+        assert_eq!(sc.next_char().unwrap(), Some('b'));
+        assert_eq!(sc.next_char().unwrap(), Some('\n'));
+        assert_eq!(sc.position().line, 2);
+        assert_eq!(sc.position().column, 1);
+        assert_eq!(sc.next_char().unwrap(), Some('c'));
+        assert_eq!(sc.position().column, 2);
+        assert_eq!(sc.next_char().unwrap(), Some('d'));
+        assert_eq!(sc.next_char().unwrap(), None);
+        assert_eq!(sc.offset(), 5);
+    }
+
+    #[test]
+    fn normalizes_line_endings() {
+        let mut sc = scan("a\r\nb\rc");
+        let mut got = String::new();
+        while let Some(c) = sc.next_char().unwrap() {
+            got.push(c);
+        }
+        assert_eq!(got, "a\nb\nc");
+        // Offsets still count raw bytes.
+        assert_eq!(sc.offset(), 6);
+        assert_eq!(sc.position().line, 3);
+    }
+
+    #[test]
+    fn decodes_multibyte_utf8() {
+        let mut sc = scan("é日x");
+        assert_eq!(sc.next_char().unwrap(), Some('é'));
+        assert_eq!(sc.next_char().unwrap(), Some('日'));
+        assert_eq!(sc.next_char().unwrap(), Some('x'));
+        assert_eq!(sc.offset(), 6);
+    }
+
+    #[test]
+    fn rejects_invalid_utf8() {
+        let mut sc = Scanner::new(Cursor::new(vec![0xFF, 0x41]));
+        assert!(sc.next_char().is_err());
+    }
+
+    #[test]
+    fn rejects_truncated_utf8() {
+        let mut sc = Scanner::new(Cursor::new(vec![0xC3])); // lone lead byte
+        assert!(sc.next_char().is_err());
+    }
+
+    #[test]
+    fn peek_does_not_consume() {
+        let mut sc = scan("xy");
+        assert_eq!(sc.peek_byte().unwrap(), Some(b'x'));
+        assert_eq!(sc.peek_at(1).unwrap(), Some(b'y'));
+        assert_eq!(sc.peek_at(2).unwrap(), None);
+        assert_eq!(sc.peek_char().unwrap(), Some('x'));
+        assert_eq!(sc.next_char().unwrap(), Some('x'));
+    }
+
+    #[test]
+    fn starts_with_and_consume() {
+        let mut sc = scan("<!--rest");
+        assert!(sc.starts_with(b"<!--").unwrap());
+        assert!(!sc.starts_with(b"<!DOCTYPE").unwrap());
+        sc.consume_ascii(b"<!--").unwrap();
+        assert_eq!(sc.next_char().unwrap(), Some('r'));
+    }
+
+    #[test]
+    fn ascii_run_stops_at_boundary() {
+        let mut sc = scan("hello<world");
+        let mut out = String::new();
+        let n = sc.consume_ascii_run(|b| b != b'<', &mut out).unwrap();
+        assert_eq!(n, 5);
+        assert_eq!(out, "hello");
+        assert_eq!(sc.peek_byte().unwrap(), Some(b'<'));
+    }
+
+    #[test]
+    fn ascii_run_stops_at_non_ascii_and_cr() {
+        let mut sc = scan("ab\récd");
+        let mut out = String::new();
+        sc.consume_ascii_run(|_| true, &mut out).unwrap();
+        assert_eq!(out, "ab");
+        assert_eq!(sc.next_char().unwrap(), Some('\n')); // normalized \r
+        out.clear();
+        sc.consume_ascii_run(|_| true, &mut out).unwrap();
+        assert_eq!(out, ""); // é is non-ASCII
+        assert_eq!(sc.next_char().unwrap(), Some('é'));
+    }
+
+    #[test]
+    fn works_across_tiny_buffer_refills() {
+        let text = "abcdefghijklmnopqrstuvwxyz".repeat(8);
+        let mut sc = Scanner::with_capacity(Cursor::new(text.clone().into_bytes()), 16);
+        let mut got = String::new();
+        while let Some(c) = sc.next_char().unwrap() {
+            got.push(c);
+        }
+        assert_eq!(got, text);
+    }
+
+    #[test]
+    fn lookahead_larger_than_window_grows() {
+        let mut sc = Scanner::with_capacity(Cursor::new(b"0123456789abcdef0123".to_vec()), 16);
+        assert_eq!(sc.peek_at(18).unwrap(), Some(b'2'));
+        assert_eq!(sc.next_char().unwrap(), Some('0'));
+    }
+}

@@ -1,0 +1,197 @@
+//! Classic SAX-style push API.
+//!
+//! Some consumers (like the paper's TwigM machine, whose transition
+//! functions fire *on* events) are most naturally written as callback
+//! handlers. [`Handler`] is that interface; [`parse_document`] drives a
+//! pull [`XmlReader`] and invokes the handler for every event.
+//!
+//! All callbacks have no-op defaults, so a handler implements only what it
+//! needs. A callback may abort the parse early by returning
+//! [`Control::Stop`].
+
+use std::io::Read;
+
+use crate::error::XmlResult;
+use crate::event::{
+    CharactersEvent, EndElementEvent, ProcessingInstructionEvent, StartElementEvent, XmlEvent,
+};
+use crate::reader::XmlReader;
+
+/// Flow-control result of a handler callback.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Control {
+    /// Keep parsing.
+    #[default]
+    Continue,
+    /// Stop parsing after this event (not an error — e.g. "first match
+    /// found, that's all I needed").
+    Stop,
+}
+
+/// SAX event callbacks. All methods default to "do nothing, continue".
+pub trait Handler {
+    /// The document started; XML-declaration fields if present.
+    fn start_document(
+        &mut self,
+        version: Option<&str>,
+        encoding: Option<&str>,
+    ) -> XmlResult<Control> {
+        let _ = (version, encoding);
+        Ok(Control::Continue)
+    }
+
+    /// An element opened.
+    fn start_element(&mut self, event: &StartElementEvent) -> XmlResult<Control> {
+        let _ = event;
+        Ok(Control::Continue)
+    }
+
+    /// An element closed.
+    fn end_element(&mut self, event: &EndElementEvent) -> XmlResult<Control> {
+        let _ = event;
+        Ok(Control::Continue)
+    }
+
+    /// Character data.
+    fn characters(&mut self, event: &CharactersEvent) -> XmlResult<Control> {
+        let _ = event;
+        Ok(Control::Continue)
+    }
+
+    /// A comment.
+    fn comment(&mut self, text: &str) -> XmlResult<Control> {
+        let _ = text;
+        Ok(Control::Continue)
+    }
+
+    /// A processing instruction.
+    fn processing_instruction(
+        &mut self,
+        event: &ProcessingInstructionEvent,
+    ) -> XmlResult<Control> {
+        let _ = event;
+        Ok(Control::Continue)
+    }
+
+    /// A DOCTYPE declaration.
+    fn doctype(&mut self, name: &str) -> XmlResult<Control> {
+        let _ = name;
+        Ok(Control::Continue)
+    }
+
+    /// The document ended cleanly.
+    fn end_document(&mut self) -> XmlResult<()> {
+        Ok(())
+    }
+}
+
+/// Outcome of [`parse_document`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParseOutcome {
+    /// The whole document was consumed.
+    Completed,
+    /// A handler returned [`Control::Stop`].
+    Stopped,
+}
+
+/// Drives `reader` to completion (or until the handler stops it), invoking
+/// `handler` for every event.
+pub fn parse_document<R: Read, H: Handler>(
+    mut reader: XmlReader<R>,
+    handler: &mut H,
+) -> XmlResult<ParseOutcome> {
+    loop {
+        let event = reader.next_event()?;
+        let control = match &event {
+            XmlEvent::StartDocument { version, encoding } => {
+                handler.start_document(version.as_deref(), encoding.as_deref())?
+            }
+            XmlEvent::StartElement(e) => handler.start_element(e)?,
+            XmlEvent::EndElement(e) => handler.end_element(e)?,
+            XmlEvent::Characters(e) => handler.characters(e)?,
+            XmlEvent::Comment(text) => handler.comment(text)?,
+            XmlEvent::ProcessingInstruction(e) => handler.processing_instruction(e)?,
+            XmlEvent::DoctypeDeclaration { name } => handler.doctype(name)?,
+            XmlEvent::EndDocument => {
+                handler.end_document()?;
+                return Ok(ParseOutcome::Completed);
+            }
+        };
+        if control == Control::Stop {
+            return Ok(ParseOutcome::Stopped);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Default)]
+    struct Recorder {
+        log: Vec<String>,
+        stop_on: Option<String>,
+    }
+
+    impl Handler for Recorder {
+        fn start_document(&mut self, v: Option<&str>, _e: Option<&str>) -> XmlResult<Control> {
+            self.log.push(format!("startdoc v={v:?}"));
+            Ok(Control::Continue)
+        }
+        fn start_element(&mut self, e: &StartElementEvent) -> XmlResult<Control> {
+            self.log.push(format!("start {} L{}", e.name, e.level));
+            if self.stop_on.as_deref() == Some(e.name.as_str()) {
+                return Ok(Control::Stop);
+            }
+            Ok(Control::Continue)
+        }
+        fn end_element(&mut self, e: &EndElementEvent) -> XmlResult<Control> {
+            self.log.push(format!("end {} L{}", e.name, e.level));
+            Ok(Control::Continue)
+        }
+        fn characters(&mut self, e: &CharactersEvent) -> XmlResult<Control> {
+            self.log.push(format!("text {:?}", e.text));
+            Ok(Control::Continue)
+        }
+        fn end_document(&mut self) -> XmlResult<()> {
+            self.log.push("enddoc".into());
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn delivers_all_events_in_order() {
+        let mut rec = Recorder::default();
+        let outcome =
+            parse_document(XmlReader::from_str("<a><b>hi</b></a>"), &mut rec).unwrap();
+        assert_eq!(outcome, ParseOutcome::Completed);
+        assert_eq!(
+            rec.log,
+            vec![
+                "startdoc v=None",
+                "start a L1",
+                "start b L2",
+                "text \"hi\"",
+                "end b L2",
+                "end a L1",
+                "enddoc",
+            ]
+        );
+    }
+
+    #[test]
+    fn handler_can_stop_early() {
+        let mut rec = Recorder { stop_on: Some("b".into()), ..Default::default() };
+        let outcome =
+            parse_document(XmlReader::from_str("<a><b/><c/></a>"), &mut rec).unwrap();
+        assert_eq!(outcome, ParseOutcome::Stopped);
+        assert_eq!(rec.log.last().unwrap(), "start b L2");
+    }
+
+    #[test]
+    fn errors_propagate() {
+        let mut rec = Recorder::default();
+        let err = parse_document(XmlReader::from_str("<a><b></a>"), &mut rec).unwrap_err();
+        assert!(err.to_string().contains("mismatched end tag"));
+    }
+}

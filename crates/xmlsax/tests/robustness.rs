@@ -1,0 +1,89 @@
+//! Robustness: the parser must never panic, loop, or mis-account —
+//! whatever bytes arrive. Mutated well-formed documents, truncations, and
+//! raw random bytes all either parse or fail with a positioned error.
+
+use proptest::prelude::*;
+
+use vitex_xmlsax::{XmlEvent, XmlReader};
+
+const BASE: &str = "<?xml version=\"1.0\"?>\
+    <!DOCTYPE r [<!ENTITY e \"ok\">]>\
+    <r a=\"1\" b='two'>\
+    text &amp; &e; &#65;\
+    <!--comment--><?pi data?>\
+    <child><![CDATA[<raw>]]></child>\
+    <deep><deep><deep>x</deep></deep></deep>\
+    </r>";
+
+/// Drives a parse to completion or error; returns whether it succeeded.
+/// The point is that this returns at all (no panic, no hang).
+fn survives(bytes: &[u8]) -> bool {
+    let mut reader = XmlReader::from_slice(bytes);
+    for _ in 0..100_000 {
+        match reader.next_event() {
+            Ok(XmlEvent::EndDocument) => return true,
+            Ok(_) => {}
+            Err(_) => return false,
+        }
+    }
+    panic!("parser failed to terminate within 100k events on {} bytes", bytes.len());
+}
+
+#[test]
+fn base_document_parses() {
+    assert!(survives(BASE.as_bytes()));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 512, ..ProptestConfig::default() })]
+
+    /// Single-byte mutations of a well-formed document.
+    #[test]
+    fn byte_mutations_never_panic(pos in 0usize..BASE.len(), byte in 0u8..=255) {
+        let mut bytes = BASE.as_bytes().to_vec();
+        bytes[pos] = byte;
+        survives(&bytes);
+    }
+
+    /// Truncations at every length.
+    #[test]
+    fn truncations_never_panic(len in 0usize..BASE.len()) {
+        survives(&BASE.as_bytes()[..len]);
+    }
+
+    /// Random byte soup.
+    #[test]
+    fn random_bytes_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..200)) {
+        survives(&bytes);
+    }
+
+    /// Random ASCII markup-ish soup (higher hit rate on parser branches).
+    #[test]
+    fn markup_soup_never_panics(s in "[<>&;!\\[\\]a-z\"'=/? -]{0,120}") {
+        survives(s.as_bytes());
+    }
+
+    /// Byte insertions.
+    #[test]
+    fn insertions_never_panic(pos in 0usize..BASE.len(), byte in 0u8..=255) {
+        let mut bytes = BASE.as_bytes().to_vec();
+        bytes.insert(pos, byte);
+        survives(&bytes);
+    }
+}
+
+/// The engine on top must be equally unshakeable: a failing stream
+/// surfaces as an error, never as a panic or inconsistent machine.
+#[test]
+fn engine_survives_mutations() {
+    use vitex_xpath::query_tree::QueryTree;
+    let tree = QueryTree::parse("//child").unwrap();
+    for pos in (0..BASE.len()).step_by(7) {
+        for byte in [b'<', b'>', b'&', 0, b'"'] {
+            let mut bytes = BASE.as_bytes().to_vec();
+            bytes[pos] = byte;
+            let mut engine = vitex_core::Engine::new(&tree).unwrap();
+            let _ = engine.run(XmlReader::from_slice(&bytes), |_| {});
+        }
+    }
+}

@@ -1,0 +1,61 @@
+//! The exponential-blowup demonstration (paper §1): scale the Figure-1
+//! document family and watch the naive pattern-match enumerator explode
+//! while TwigM's compact encoding stays flat.
+//!
+//! ```text
+//! cargo run --release --example recursive_sections
+//! ```
+
+use std::time::Instant;
+
+use vitex::baseline::{naive, NaiveConfig};
+use vitex::core::evaluate_reader;
+use vitex::xmlgen::recursive::{self, RecursiveConfig};
+use vitex::xmlsax::XmlReader;
+use vitex::xpath::QueryTree;
+
+fn main() {
+    let query = "//section[author]//table[position]//cell";
+    let tree = QueryTree::parse(query).expect("valid query");
+    println!("query: {query}\n");
+    println!(
+        "{:>6} {:>10} | {:>12} {:>12} | {:>14} {:>12}",
+        "depth", "doc bytes", "twigm time", "twigm peakB", "naive matches", "naive time"
+    );
+
+    for depth in [2usize, 4, 8, 12, 16, 20, 24] {
+        let xml = recursive::to_string(&RecursiveConfig::square(depth));
+
+        let t = Instant::now();
+        let out = evaluate_reader(XmlReader::from_str(&xml), &tree).expect("twigm");
+        let twig_time = t.elapsed();
+        assert_eq!(out.matches.len(), 1);
+
+        let t = Instant::now();
+        let naive_eval =
+            naive::NaiveEvaluator::new(&tree, NaiveConfig { max_embeddings: 2_000_000 });
+        let naive_result = naive_eval.run(XmlReader::from_str(&xml));
+        let naive_time = t.elapsed();
+        let naive_cell = match &naive_result {
+            Ok(o) => format!("{}", o.peak_embeddings),
+            Err(naive::NaiveError::Blowup { embeddings }) => format!(">{embeddings} CAP"),
+            Err(e) => format!("error: {e}"),
+        };
+
+        println!(
+            "{:>6} {:>10} | {:>12?} {:>12} | {:>14} {:>12?}",
+            depth,
+            xml.len(),
+            twig_time,
+            out.stats.peak_bytes,
+            naive_cell,
+            naive_time,
+        );
+    }
+
+    println!(
+        "\nThe 'naive matches' column is the number of explicitly stored\n\
+         pattern matches (the paper's ⟨section_i, table_j, cell⟩ tuples);\n\
+         TwigM's peak bytes grow only with the nesting depth."
+    );
+}

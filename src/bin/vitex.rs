@@ -1,0 +1,180 @@
+//! The `vitex` command-line tool: stream an XPath query over an XML file
+//! (or stdin) and print matches as they become decidable.
+//!
+//! ```text
+//! vitex [OPTIONS] <QUERY> [FILE]
+//!
+//! Options:
+//!   --count           print only the number of matches
+//!   --values          print attribute values / text content instead of spans
+//!   --stats           print machine statistics to stderr after the run
+//!   --eager           use the eager (ablation) candidate propagation mode
+//!   --machine         dump the compiled TwigM machine and exit
+//! ```
+
+use std::fs::File;
+use std::io::{self, BufReader, Read, Write};
+use std::process::ExitCode;
+
+use vitex_core::{Engine, EvalMode, Match, MatchKind};
+use vitex_xmlsax::XmlReader;
+use vitex_xpath::QueryTree;
+
+struct Options {
+    query: String,
+    file: Option<String>,
+    count: bool,
+    values: bool,
+    stats: bool,
+    eager: bool,
+    machine: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: vitex [--count] [--values] [--stats] [--eager] [--machine] <QUERY> [FILE]\n\
+         \n\
+         Streams FILE (or stdin) through the TwigM machine and prints every\n\
+         node matching QUERY (XPath fragment: /, //, *, [], @attr, text(),\n\
+         value comparisons) as soon as it is decidable.\n\
+         \n\
+         examples:\n\
+         \x20 vitex '//ProteinEntry[reference]/@id' protein.xml\n\
+         \x20 vitex --count '//section[author]//table[position]//cell' book.xml"
+    );
+    std::process::exit(2)
+}
+
+fn parse_args() -> Options {
+    let mut query = None;
+    let mut file = None;
+    let mut opts = Options {
+        query: String::new(),
+        file: None,
+        count: false,
+        values: false,
+        stats: false,
+        eager: false,
+        machine: false,
+    };
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--count" => opts.count = true,
+            "--values" => opts.values = true,
+            "--stats" => opts.stats = true,
+            "--eager" => opts.eager = true,
+            "--machine" => opts.machine = true,
+            "--help" | "-h" => usage(),
+            _ if query.is_none() => query = Some(arg),
+            _ if file.is_none() => file = Some(arg),
+            _ => usage(),
+        }
+    }
+    opts.query = match query {
+        Some(q) => q,
+        None => usage(),
+    };
+    opts.file = file;
+    opts
+}
+
+fn describe(m: &Match, values: bool) -> String {
+    if values {
+        match m.kind {
+            MatchKind::Element => format!("<{}> bytes {}", m.name.as_deref().unwrap_or("?"), m.span),
+            MatchKind::Attribute | MatchKind::Text => {
+                m.value.clone().unwrap_or_default()
+            }
+        }
+    } else {
+        m.to_string()
+    }
+}
+
+fn main() -> ExitCode {
+    let opts = parse_args();
+    let tree = match QueryTree::parse(&opts.query) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("vitex: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if opts.machine {
+        let spec = match vitex_core::MachineSpec::compile(&tree) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("vitex: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        println!("query: {}", spec.query);
+        println!("query tree:\n{tree}");
+        println!("machine nodes: {}", spec.len());
+        for (i, n) in spec.nodes.iter().enumerate() {
+            println!(
+                "  [{i}] {}{} parent={:?} main={} root={} result={} flags={} attr_preds={} \
+                 text_preds={} attr_result={}",
+                if n.axis == vitex_xpath::Axis::Descendant { "//" } else { "/" },
+                n.name.as_deref().unwrap_or("*"),
+                n.parent,
+                n.is_main,
+                n.is_root,
+                n.is_result,
+                n.nflags,
+                n.attr_preds.len(),
+                n.text_preds.len(),
+                n.attr_result.is_some(),
+            );
+        }
+        return ExitCode::SUCCESS;
+    }
+    let mode = if opts.eager { EvalMode::Eager } else { EvalMode::Compact };
+    let mut engine = match Engine::with_mode(&tree, mode) {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("vitex: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let source: Box<dyn Read> = match &opts.file {
+        Some(path) => match File::open(path) {
+            Ok(f) => Box::new(BufReader::new(f)),
+            Err(e) => {
+                eprintln!("vitex: {path}: {e}");
+                return ExitCode::from(2);
+            }
+        },
+        None => Box::new(io::stdin().lock()),
+    };
+    let stdout = io::stdout();
+    let mut out = stdout.lock();
+    let mut count = 0u64;
+    let result = engine.run(XmlReader::new(source), |m| {
+        count += 1;
+        if !opts.count {
+            let _ = writeln!(out, "{}", describe(&m, opts.values));
+        }
+    });
+    match result {
+        Ok(output) => {
+            if opts.count {
+                println!("{count}");
+            }
+            if opts.stats {
+                eprintln!("elements: {}", output.elements);
+                eprintln!("events:   {}", output.events);
+                eprintln!("machine:  {}", output.stats.summary());
+            }
+            if count > 0 {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(1)
+            }
+        }
+        Err(e) => {
+            eprintln!("vitex: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

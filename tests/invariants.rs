@@ -1,0 +1,191 @@
+//! Machine-level invariants checked over randomized runs:
+//!
+//! * conservation — pushes equal pops, nothing live after a well-formed
+//!   document, byte accounting returns to zero;
+//! * exactly-once emission (already checked differentially; here under
+//!   heavier shapes);
+//! * polynomial bookkeeping — the compact machine's peak state must stay
+//!   tiny while the naive enumerator's embedding count explodes on the
+//!   same input;
+//! * streaming memory flatness — peak machine bytes must not grow with
+//!   document length on repetitive data (the E1 claim, in miniature).
+
+use proptest::prelude::*;
+
+use vitex::baseline::{naive, NaiveConfig};
+use vitex::core::{evaluate_reader, Engine, EvalMode};
+use vitex::xmlgen::random::{self, RandomConfig};
+use vitex::xmlgen::{protein, recursive};
+use vitex::xmlsax::XmlReader;
+use vitex::xpath::generate::{GenConfig, QueryGenerator};
+use vitex::xpath::QueryTree;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+
+    #[test]
+    fn conservation_laws(doc_seed in 0u64..3000, query_seed in 0u64..3000) {
+        let xml = random::to_string(&RandomConfig::seeded(doc_seed));
+        let mut qgen = QueryGenerator::new(query_seed, GenConfig::default());
+        let tree = QueryTree::build(&qgen.query()).unwrap();
+        for mode in [EvalMode::Compact, EvalMode::Eager] {
+            let mut engine = Engine::with_mode(&tree, mode).unwrap();
+            let out = engine.run(XmlReader::from_str(&xml), |_| {}).unwrap();
+            let s = &out.stats;
+            prop_assert_eq!(s.pushes, s.pops, "push/pop balance");
+            prop_assert_eq!(s.live_entries, 0);
+            prop_assert_eq!(s.live_candidates, 0);
+            prop_assert_eq!(s.live_bytes, 0, "byte accounting must drain");
+            prop_assert_eq!(
+                s.candidates_created + s.candidates_copied,
+                s.emitted
+                    + s.candidates_discarded
+                    + s.duplicates_suppressed
+                    + s.candidates_merged,
+                "candidate conservation"
+            );
+            prop_assert_eq!(s.emitted as usize, out.matches.len());
+        }
+    }
+
+    #[test]
+    fn compact_mode_never_suppresses_nonshared_duplicates(
+        doc_seed in 0u64..2000, query_seed in 0u64..2000
+    ) {
+        // In compact mode every emission is unique by construction; the
+        // dedup set only ever fires for shared candidates.
+        let xml = random::to_string(&RandomConfig::seeded(doc_seed));
+        let mut qgen = QueryGenerator::new(query_seed, GenConfig::default());
+        let tree = QueryTree::build(&qgen.query()).unwrap();
+        let out = evaluate_reader(XmlReader::from_str(&xml), &tree).unwrap();
+        let mut ids: Vec<u64> = out.matches.iter().map(|m| m.node).collect();
+        ids.sort_unstable();
+        let before = ids.len();
+        ids.dedup();
+        prop_assert_eq!(before, ids.len(), "duplicate emission in compact mode");
+    }
+}
+
+#[test]
+fn polynomial_vs_exponential_bookkeeping() {
+    // //a//a//a//a over n-deep <a> nesting: the naive evaluator stores
+    // Θ(C(n,4)) embeddings; TwigM's state stays linear.
+    let query = "//a//a//a//a";
+    let tree = QueryTree::parse(query).unwrap();
+    let depth = 20;
+    let xml = recursive::uniform_nesting(depth);
+
+    let out = evaluate_reader(XmlReader::from_str(&xml), &tree).unwrap();
+    assert!(out.stats.peak_entries as usize <= 4 * depth, "TwigM entries stay linear");
+
+    let nout = naive::NaiveEvaluator::new(&tree, NaiveConfig { max_embeddings: 10_000_000 })
+        .run(XmlReader::from_str(&xml))
+        .unwrap();
+    assert!(
+        nout.peak_embeddings > 1000,
+        "naive must materialize the combinatorial match space, got {}",
+        nout.peak_embeddings
+    );
+    // And they agree on the answer.
+    let mut ids: Vec<u64> = out.matches.iter().map(|m| m.node).collect();
+    ids.sort_unstable();
+    assert_eq!(ids, nout.matches);
+}
+
+#[test]
+fn machine_memory_is_flat_in_document_size() {
+    // E1 in miniature: peak machine bytes on 64 KiB vs 512 KiB protein
+    // data must be essentially identical (shallow data → constant stacks).
+    let tree = QueryTree::parse("//ProteinEntry[reference]/@id").unwrap();
+    let peak = |bytes: u64| {
+        let xml = protein::to_string(&protein::ProteinConfig::sized(bytes));
+        let out = evaluate_reader(XmlReader::from_str(&xml), &tree).unwrap();
+        out.stats.peak_bytes
+    };
+    let small = peak(64 * 1024);
+    let large = peak(512 * 1024);
+    assert!(
+        large <= small * 2,
+        "peak machine bytes must not scale with |D|: {small} → {large}"
+    );
+}
+
+#[test]
+fn machine_memory_scales_with_depth_not_length() {
+    // Recursion depth is the honest driver of stack growth.
+    let tree = QueryTree::parse("//a//a").unwrap();
+    let peak = |depth: usize| {
+        let xml = recursive::uniform_nesting(depth);
+        let out = evaluate_reader(XmlReader::from_str(&xml), &tree).unwrap();
+        out.stats.peak_entries
+    };
+    assert!(peak(64) > peak(8), "deeper nesting → more live entries");
+}
+
+#[test]
+fn eager_mode_uses_at_least_as_much_candidate_state() {
+    // The E6 ablation's direction, asserted as an invariant on a workload
+    // with real fan-out.
+    let xml = recursive::to_string(&recursive::RecursiveConfig::square(12));
+    let tree = QueryTree::parse("//section[author]//table[position]//cell").unwrap();
+    let compact = {
+        let mut e = Engine::with_mode(&tree, EvalMode::Compact).unwrap();
+        e.run(XmlReader::from_str(&xml), |_| {}).unwrap().stats
+    };
+    let eager = {
+        let mut e = Engine::with_mode(&tree, EvalMode::Eager).unwrap();
+        e.run(XmlReader::from_str(&xml), |_| {}).unwrap().stats
+    };
+    assert_eq!(compact.emitted, eager.emitted, "same answers");
+    assert!(
+        eager.peak_candidates >= compact.peak_candidates,
+        "eager {} < compact {}",
+        eager.peak_candidates,
+        compact.peak_candidates
+    );
+    assert!(eager.candidates_copied >= compact.candidates_copied);
+}
+
+#[test]
+fn stop_early_streams_partial_results() {
+    // Incremental delivery: a consumer can stop after the first match
+    // without reading the rest of the stream (the CLI's behaviour when
+    // piped into `head`). Simulated here by counting callback order.
+    let xml = "<r><a><b/></a><a><b/></a><a><b/></a></r>";
+    let tree = QueryTree::parse("//a/b").unwrap();
+    let mut engine = Engine::new(&tree).unwrap();
+    let mut seen = 0;
+    engine
+        .run(XmlReader::from_str(xml), |_| {
+            seen += 1;
+        })
+        .unwrap();
+    assert_eq!(seen, 3);
+}
+
+#[test]
+fn pathological_flag_counts_spill() {
+    // A query node with > 64 predicate children exercises the spilled
+    // bitset path end to end.
+    let conds = (0..70).map(|i| format!("c{i}")).collect::<Vec<_>>().join(" and ");
+    let query = format!("//a[{conds}]");
+    let tree = QueryTree::parse(&query).unwrap();
+    let children: String = (0..70).map(|i| format!("<c{i}/>")).collect();
+    let xml = format!("<a>{children}</a>");
+    let out = evaluate_reader(XmlReader::from_str(&xml), &tree).unwrap();
+    assert_eq!(out.matches.len(), 1);
+    // Drop one child: no match.
+    let children: String = (1..70).map(|i| format!("<c{i}/>")).collect();
+    let xml = format!("<a>{children}</a>");
+    let out = evaluate_reader(XmlReader::from_str(&xml), &tree).unwrap();
+    assert!(out.matches.is_empty());
+}
+
+#[test]
+fn deep_documents_within_parser_limits() {
+    let depth = 2000;
+    let xml = recursive::uniform_nesting(depth);
+    let tree = QueryTree::parse("//a//a//a").unwrap();
+    let out = evaluate_reader(XmlReader::from_str(&xml), &tree).unwrap();
+    assert_eq!(out.matches.len(), depth - 2);
+}
