@@ -117,7 +117,11 @@ impl Document {
                         .map(|a| {
                             let aid = next_id;
                             next_id += 1;
-                            DomAttr { id: aid, name: a.name.as_str().into(), value: a.value.clone() }
+                            DomAttr {
+                                id: aid,
+                                name: a.name.as_str().into(),
+                                value: a.value.clone(),
+                            }
                         })
                         .collect();
                     let parent = *stack.last().expect("stack holds at least the root");

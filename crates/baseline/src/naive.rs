@@ -257,8 +257,7 @@ impl NaiveEvaluator {
                     // its own ancestor.
                     for q in 0..n {
                         let node = &nodes[q];
-                        let name_ok =
-                            node.name.as_deref().is_none_or(|t| t == e.name.as_str());
+                        let name_ok = node.name.as_deref().is_none_or(|t| t == e.name.as_str());
                         if !name_ok {
                             continue;
                         }
@@ -326,8 +325,7 @@ impl NaiveEvaluator {
                     for emb in embeddings.iter_mut() {
                         for q in 0..n {
                             let node = &nodes[q];
-                            if node.reqs.text_preds.is_empty() && node.reqs.text_result.is_none()
-                            {
+                            if node.reqs.text_preds.is_empty() && node.reqs.text_result.is_none() {
                                 continue;
                             }
                             let bound_here = matches!(
@@ -364,8 +362,7 @@ impl NaiveEvaluator {
                             };
                             let node = &nodes[q];
                             // Close the binding.
-                            embeddings[i].bindings[q] =
-                                Some(Bind { open: false, ..bind });
+                            embeddings[i].bindings[q] = Some(Bind { open: false, ..bind });
                             // Local completion: requirements + comparison.
                             let mut ok = embeddings[i].complete_at(q, node);
                             if ok {
@@ -483,9 +480,9 @@ mod tests {
                    <table><table><table><cell>A</cell></table></table>\
                    <position>B</position></table>\
                    </section></section><author>C</author></section></book>";
-        let out = evaluate_str(xml, "//section[author]//table[position]//cell",
-            NaiveConfig::default())
-        .unwrap();
+        let out =
+            evaluate_str(xml, "//section[author]//table[position]//cell", NaiveConfig::default())
+                .unwrap();
         assert_eq!(out.matches.len(), 1);
         // The strawman materialized the multiple ⟨section, table, cell⟩
         // tuples the paper talks about.

@@ -87,8 +87,7 @@ impl PathNfa {
                         // Try to advance.
                         if s < k {
                             let t = &self.transitions[s];
-                            let name_ok =
-                                t.name.as_deref().is_none_or(|n| n == e.name.as_str());
+                            let name_ok = t.name.as_deref().is_none_or(|n| n == e.name.as_str());
                             if name_ok {
                                 push_unique(&mut states, s + 1);
                             }

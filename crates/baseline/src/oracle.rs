@@ -118,9 +118,7 @@ impl Oracle<'_> {
             } else {
                 match qnode.axis {
                     Axis::Child => match self.doc.node(idx).parent {
-                        Some(p) if self.doc.node(p).is_element() => {
-                            self.matches_prefix(pos - 1, p)
-                        }
+                        Some(p) if self.doc.node(p).is_element() => self.matches_prefix(pos - 1, p),
                         _ => false,
                     },
                     Axis::Descendant => {
@@ -190,14 +188,12 @@ impl Oracle<'_> {
             }
             NodeKind::Text => {
                 debug_assert_eq!(qnode.axis, Axis::Child);
-                self.doc.node(idx).children.clone().iter().any(|&c| {
-                    match &self.doc.node(c).kind {
-                        DomKind::Text { content } => qnode
-                            .comparison
-                            .as_ref()
-                            .is_none_or(|(op, lit)| predicate::compare(content, *op, lit)),
-                        _ => false,
-                    }
+                self.doc.node(idx).children.clone().iter().any(|&c| match &self.doc.node(c).kind {
+                    DomKind::Text { content } => qnode
+                        .comparison
+                        .as_ref()
+                        .is_none_or(|(op, lit)| predicate::compare(content, *op, lit)),
+                    _ => false,
                 })
             }
             NodeKind::Element { .. } => match qnode.axis {
@@ -216,9 +212,10 @@ impl Oracle<'_> {
     fn any_descendant_matches(&mut self, pc: QNodeId, idx: DomIdx) -> bool {
         for &c in &self.doc.node(idx).children.clone() {
             if self.doc.node(c).is_element()
-                && (self.node_matches(pc, c) || self.any_descendant_matches(pc, c)) {
-                    return true;
-                }
+                && (self.node_matches(pc, c) || self.any_descendant_matches(pc, c))
+            {
+                return true;
+            }
         }
         false
     }

@@ -24,13 +24,7 @@ fn bench_ablation(c: &mut Criterion) {
         for (label, mode) in [("compact", EvalMode::Compact), ("eager", EvalMode::Eager)] {
             group.bench_with_input(BenchmarkId::new(label, depth), &xml, |b, xml| {
                 let mut engine = Engine::with_mode(&tree, mode).unwrap();
-                b.iter(|| {
-                    engine
-                        .run(XmlReader::from_str(xml), |_| {})
-                        .unwrap()
-                        .stats
-                        .emitted
-                })
+                b.iter(|| engine.run(XmlReader::from_str(xml), |_| {}).unwrap().stats.emitted)
             });
         }
     }

@@ -1,0 +1,49 @@
+//! Multi-query scaling: throughput of one scan at k registered queries,
+//! with and without the interned-name dispatch index.
+//!
+//! The workload is the disjoint-name pub/sub regime (one standing query
+//! per element name): under scan dispatch every event pokes all k
+//! machines, so throughput decays ~1/k; under indexed dispatch an event
+//! touches only the interested machine and throughput stays flat. The
+//! acceptance bar for the driver refactor is ≥ 2× at k = 100.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use vitex_bench::multiquery::{disjoint_queries, pubsub_doc};
+use vitex_core::{DispatchMode, MultiEngine};
+use vitex_xmlsax::XmlReader;
+
+fn build_engine(k: usize, mode: DispatchMode) -> MultiEngine {
+    let mut multi = MultiEngine::with_dispatch(mode);
+    for q in disjoint_queries(k) {
+        multi.add_query(&q).expect("valid query");
+    }
+    multi
+}
+
+fn bench_multi(c: &mut Criterion) {
+    let mut group = c.benchmark_group("multi_query_scaling");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    for k in [1usize, 10, 100, 1000] {
+        // Every query has matching records: tags == max(k, 100) names
+        // cycled through enough records for a few MB of stream.
+        let xml = pubsub_doc(k.max(100), 40_000);
+        group.throughput(Throughput::Bytes(xml.len() as u64));
+        for (label, mode) in [("indexed", DispatchMode::Indexed), ("scan", DispatchMode::Scan)] {
+            let mut multi = build_engine(k, mode);
+            group.bench_with_input(BenchmarkId::new(label, k), &xml, |b, xml| {
+                b.iter(|| {
+                    multi
+                        .run(XmlReader::from_str(xml), |_, _| {})
+                        .expect("well-formed workload")
+                        .elements
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_multi);
+criterion_main!(benches);

@@ -39,9 +39,8 @@ fn main() {
             continue;
         }
         let xml = protein::to_string(&ProteinConfig::sized(bytes));
-        let out = engine
-            .run(XmlReader::from_str(&xml), |_| {})
-            .expect("protein data is well-formed");
+        let out =
+            engine.run(XmlReader::from_str(&xml), |_| {}).expect("protein data is well-formed");
         println!(
             "{:>10} | {:>10} | {:>14} | {:>12} | 1:{:.0}",
             fmt_bytes(xml.len() as u64),

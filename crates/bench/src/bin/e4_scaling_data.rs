@@ -23,10 +23,7 @@ fn row(label: &str, xml: &str, tree: &QueryTree) {
 }
 
 fn main() {
-    header(
-        "E4: throughput vs document size",
-        "evaluation time linear in |D| across data shapes",
-    );
+    header("E4: throughput vs document size", "evaluation time linear in |D| across data shapes");
     let scale = scale_arg();
     let mb = |m: u64| ((m as f64) * scale * (1 << 20) as f64) as u64;
 
@@ -48,10 +45,7 @@ fn main() {
     let tree = QueryTree::parse("//section[author]//table[position]//cell").unwrap();
     for towers in [2_000usize, 4_000, 8_000, 16_000] {
         let towers = ((towers as f64) * scale).max(16.0) as usize;
-        let cfg = recursive::RecursiveConfig {
-            towers,
-            ..recursive::RecursiveConfig::square(6)
-        };
+        let cfg = recursive::RecursiveConfig { towers, ..recursive::RecursiveConfig::square(6) };
         let xml = recursive::to_string(&cfg);
         row("recursive", &xml, &tree);
     }

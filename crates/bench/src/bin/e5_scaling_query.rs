@@ -10,10 +10,7 @@ use vitex_xmlgen::recursive;
 use vitex_xpath::QueryTree;
 
 fn main() {
-    header(
-        "E5: time vs query size",
-        "evaluation time polynomial (≈linear) in |Q|",
-    );
+    header("E5: time vs query size", "evaluation time polynomial (≈linear) in |Q|");
     let scale = scale_arg();
 
     // A structured document with guaranteed work for every query family:
@@ -58,8 +55,7 @@ fn main() {
     println!("\npredicate count — //a[b][c][b]…[cN]:");
     println!("{:>5} | {:>10} | {:>12} | {:>9}", "N", "time", "machine ops", "matches");
     for n in [1usize, 2, 4, 8, 16, 32] {
-        let preds: String =
-            (0..n).map(|i| if i % 2 == 0 { "[b]" } else { "[c]" }).collect();
+        let preds: String = (0..n).map(|i| if i % 2 == 0 { "[b]" } else { "[c]" }).collect();
         let query = format!("//a{preds}");
         let tree = QueryTree::parse(&query).unwrap();
         let (out, t) = time_best(3, || run_query(&xml, &tree));

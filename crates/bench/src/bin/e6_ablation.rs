@@ -39,9 +39,7 @@ fn main() {
         let xml = recursive::to_string(&cfg);
         let run = |mode: EvalMode| {
             let mut engine = Engine::with_mode(&tree, mode).expect("machine");
-            time_best(2, || {
-                engine.run(XmlReader::from_str(&xml), |_| {}).expect("run").stats
-            })
+            time_best(2, || engine.run(XmlReader::from_str(&xml), |_| {}).expect("run").stats)
         };
         let (cs, ct) = run(EvalMode::Compact);
         let (es, et) = run(EvalMode::Eager);

@@ -11,10 +11,7 @@ use vitex_core::MachineSpec;
 use vitex_xpath::QueryTree;
 
 fn main() {
-    header(
-        "E7: TwigM build time vs query size",
-        "machine construction linear in |Q|",
-    );
+    header("E7: TwigM build time vs query size", "machine construction linear in |Q|");
     println!(
         "{:>6} | {:>10} {:>10} {:>10} | {:>12}",
         "|Q|", "parse", "tree", "compile", "ns per node"

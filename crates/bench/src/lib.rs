@@ -108,6 +108,36 @@ pub fn header(id: &str, claim: &str) {
     println!();
 }
 
+/// The multi-query (pub/sub) workload shared by `bench_multi` and the E8
+/// experiment binary: `tags` distinct element names cycled through
+/// `records` records, and one standing query per name — the disjoint-name
+/// regime where the dispatch index shines (every event interests exactly
+/// one machine, so poking all `k` is pure waste).
+pub mod multiquery {
+    /// A document of `records` records cycling through `tags` distinct
+    /// element names, each record carrying an id attribute, a per-tag
+    /// witness child and a text payload. The witness name is suffixed with
+    /// the tag index so the query set stays *fully* disjoint — a witness
+    /// name shared across queries would rightly be dispatched to every
+    /// machine and wash out the regime this workload isolates.
+    pub fn pubsub_doc(tags: usize, records: usize) -> String {
+        assert!(tags > 0);
+        let mut xml = String::with_capacity(records * 52);
+        xml.push_str("<stream>");
+        for r in 0..records {
+            let t = r % tags;
+            xml.push_str(&format!("<t{t} id=\"r{r}\"><w{t}/><payload>v{r}</payload></t{t}>"));
+        }
+        xml.push_str("</stream>");
+        xml
+    }
+
+    /// `k` standing queries over disjoint names: `//t{i}[w{i}]/@id`.
+    pub fn disjoint_queries(k: usize) -> Vec<String> {
+        (0..k).map(|i| format!("//t{i}[w{i}]/@id")).collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

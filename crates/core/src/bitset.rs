@@ -90,6 +90,74 @@ impl SmallBitSet {
     }
 }
 
+/// A growable bitset over machine indices, used by the multi-query
+/// dispatch index ([`crate::multi::MultiEngine`]): one word-packed set per
+/// interned element name, iterated with bit-scanning so an event's cost is
+/// proportional to the number of *interested* machines, not to the number
+/// of registered queries.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DynBitSet {
+    words: Vec<u64>,
+}
+
+impl DynBitSet {
+    /// An empty set (no capacity reserved).
+    pub fn new() -> Self {
+        DynBitSet::default()
+    }
+
+    /// Sets bit `i`, growing as needed.
+    pub fn insert(&mut self, i: usize) {
+        let w = i / 64;
+        if w >= self.words.len() {
+            self.words.resize(w + 1, 0);
+        }
+        self.words[w] |= 1 << (i % 64);
+    }
+
+    /// Tests bit `i`.
+    pub fn contains(&self, i: usize) -> bool {
+        self.words.get(i / 64).is_some_and(|w| w & (1 << (i % 64)) != 0)
+    }
+
+    /// Number of set bits.
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether no bit is set.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Calls `f` with each set bit's index, ascending.
+    pub fn for_each(&self, mut f: impl FnMut(usize)) {
+        for (wi, &word) in self.words.iter().enumerate() {
+            let mut w = word;
+            while w != 0 {
+                let bit = w.trailing_zeros() as usize;
+                f(wi * 64 + bit);
+                w &= w - 1;
+            }
+        }
+    }
+
+    /// Calls `f` with each index set in `self` **or** `other`, ascending.
+    /// The union is formed word-by-word; nothing is allocated.
+    pub fn union_for_each(&self, other: &DynBitSet, mut f: impl FnMut(usize)) {
+        let longest = self.words.len().max(other.words.len());
+        for wi in 0..longest {
+            let mut w = self.words.get(wi).copied().unwrap_or(0)
+                | other.words.get(wi).copied().unwrap_or(0);
+            while w != 0 {
+                let bit = w.trailing_zeros() as usize;
+                f(wi * 64 + bit);
+                w &= w - 1;
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -143,6 +211,40 @@ mod tests {
             s.set(i);
         }
         assert!(s.all_set(130));
+    }
+
+    #[test]
+    fn dyn_bitset_insert_iterate() {
+        let mut s = DynBitSet::new();
+        assert!(s.is_empty());
+        for i in [0usize, 3, 63, 64, 130] {
+            s.insert(i);
+        }
+        assert!(s.contains(64) && !s.contains(65) && !s.contains(1000));
+        assert_eq!(s.count(), 5);
+        let mut got = Vec::new();
+        s.for_each(|i| got.push(i));
+        assert_eq!(got, [0, 3, 63, 64, 130]);
+    }
+
+    #[test]
+    fn dyn_bitset_union_iteration() {
+        let mut a = DynBitSet::new();
+        a.insert(1);
+        a.insert(200);
+        let mut b = DynBitSet::new();
+        b.insert(1);
+        b.insert(70);
+        let mut got = Vec::new();
+        a.union_for_each(&b, |i| got.push(i));
+        assert_eq!(got, [1, 70, 200], "union, deduplicated, ascending");
+        let mut got = Vec::new();
+        b.union_for_each(&a, |i| got.push(i));
+        assert_eq!(got, [1, 70, 200], "length mismatch handled both ways");
+        let empty = DynBitSet::new();
+        let mut got = Vec::new();
+        empty.union_for_each(&a, |i| got.push(i));
+        assert_eq!(got, [1, 200]);
     }
 
     #[test]

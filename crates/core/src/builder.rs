@@ -26,6 +26,8 @@ use std::fmt;
 use vitex_xpath::query_tree::{NodeKind, QueryTree};
 use vitex_xpath::{Axis, CmpOp, Literal};
 
+use crate::intern::{Interner, Symbol};
+
 /// Candidate-propagation strategy — the ablation axis of experiment E6.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum EvalMode {
@@ -138,6 +140,14 @@ pub struct MachineSpec {
     pub nodes: Vec<MachineNode>,
     /// Element name → machine nodes testing that name.
     pub by_name: HashMap<String, Vec<usize>>,
+    /// Interned name → machine nodes testing that name, indexed by
+    /// [`Symbol::index`]. Symbols come from the interner handed to
+    /// [`MachineSpec::compile_with`]; the vector only spans symbols this
+    /// spec mentions, so lookups with later-interned symbols simply miss.
+    pub by_symbol: Vec<Vec<usize>>,
+    /// The distinct symbols this spec's nametests mention (dispatch-index
+    /// construction iterates this).
+    pub name_symbols: Vec<Symbol>,
     /// Machine nodes with a wildcard element test.
     pub wildcards: Vec<usize>,
     /// Nodes with text predicate children (checked on `characters`).
@@ -153,12 +163,26 @@ pub struct MachineSpec {
 }
 
 impl MachineSpec {
-    /// Compiles a query tree. Single pass; see experiment E7 for the
-    /// measured linearity.
+    /// Compiles a query tree against a throwaway interner. The resulting
+    /// spec dispatches by string ([`MachineSpec::by_name`]); use
+    /// [`MachineSpec::compile_with`] to share an interner across machines
+    /// and enable symbol dispatch.
     pub fn compile(tree: &QueryTree) -> Result<MachineSpec, BuildError> {
+        MachineSpec::compile_with(tree, &mut Interner::new())
+    }
+
+    /// Compiles a query tree, interning every element nametest in
+    /// `interner`. Single pass; see experiment E7 for the measured
+    /// linearity.
+    pub fn compile_with(
+        tree: &QueryTree,
+        interner: &mut Interner,
+    ) -> Result<MachineSpec, BuildError> {
         let mut spec = MachineSpec {
             nodes: Vec::with_capacity(tree.len()),
             by_name: HashMap::new(),
+            by_symbol: Vec::new(),
+            name_symbols: Vec::new(),
             wildcards: Vec::new(),
             text_watchers: Vec::new(),
             text_accumulators: Vec::new(),
@@ -172,10 +196,12 @@ impl MachineSpec {
         for qnode in tree.nodes() {
             match &qnode.kind {
                 NodeKind::Element { name } => {
-                    let parent = qnode.parent.map(|p| *index.get(&p).expect(
+                    let parent = qnode.parent.map(|p| {
+                        *index.get(&p).expect(
                             "parent of an element query node is an element (grammar \
                              forbids steps under attributes/text)",
-                        ));
+                        )
+                    });
                     let mi = spec.nodes.len();
                     index.insert(qnode.id, mi);
                     // Flag slots are assigned in pred_children order as the
@@ -205,7 +231,17 @@ impl MachineSpec {
                         spec.text_accumulators.push(mi);
                     }
                     match &node.name {
-                        Some(n) => spec.by_name.entry(n.clone()).or_default().push(mi),
+                        Some(n) => {
+                            spec.by_name.entry(n.clone()).or_default().push(mi);
+                            let sym = interner.intern(n);
+                            if spec.by_symbol.len() <= sym.index() {
+                                spec.by_symbol.resize(sym.index() + 1, Vec::new());
+                            }
+                            if spec.by_symbol[sym.index()].is_empty() {
+                                spec.name_symbols.push(sym);
+                            }
+                            spec.by_symbol[sym.index()].push(mi);
+                        }
                         None => spec.wildcards.push(mi),
                     }
                     spec.nodes.push(node);
@@ -220,9 +256,9 @@ impl MachineSpec {
                     }
                 }
                 NodeKind::Attribute { name } => {
-                    let p = qnode
-                        .parent
-                        .expect("attribute query nodes always have an element parent after normalization");
+                    let p = qnode.parent.expect(
+                        "attribute query nodes always have an element parent after normalization",
+                    );
                     let pm = *index.get(&p).expect("parent compiled before child");
                     if qnode.axis != Axis::Child {
                         return Err(BuildError::new(
@@ -245,9 +281,9 @@ impl MachineSpec {
                     }
                 }
                 NodeKind::Text => {
-                    let p = qnode
-                        .parent
-                        .expect("text query nodes always have an element parent after normalization");
+                    let p = qnode.parent.expect(
+                        "text query nodes always have an element parent after normalization",
+                    );
                     let pm = *index.get(&p).expect("parent compiled before child");
                     if qnode.axis != Axis::Child {
                         return Err(BuildError::new(
@@ -259,9 +295,10 @@ impl MachineSpec {
                         spec.text_result_parent = Some(pm);
                     } else {
                         let slot = slot_of(tree, p, qnode.id);
-                        spec.nodes[pm]
-                            .text_preds
-                            .push(TextTest { comparison: qnode.comparison.clone(), slot: Some(slot) });
+                        spec.nodes[pm].text_preds.push(TextTest {
+                            comparison: qnode.comparison.clone(),
+                            slot: Some(slot),
+                        });
                         if !spec.text_watchers.contains(&pm) {
                             spec.text_watchers.push(pm);
                         }
@@ -279,12 +316,7 @@ impl MachineSpec {
         if let Some(p) = self.text_result_parent {
             return p;
         }
-        if let Some((i, _)) = self
-            .nodes
-            .iter()
-            .enumerate()
-            .find(|(_, n)| n.attr_result.is_some())
-        {
+        if let Some((i, _)) = self.nodes.iter().enumerate().find(|(_, n)| n.attr_result.is_some()) {
             return i;
         }
         self.nodes
@@ -293,6 +325,27 @@ impl MachineSpec {
             .find(|(_, n)| n.is_result)
             .map(|(i, _)| i)
             .expect("every query has a result node")
+    }
+
+    /// Machine nodes whose nametest is `sym` (empty for names this spec
+    /// never mentions, including symbols interned after compilation).
+    #[inline]
+    pub fn machines_for(&self, sym: Symbol) -> &[usize] {
+        self.by_symbol.get(sym.index()).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Whether any machine node carries a wildcard element test (such a
+    /// machine must see every element event).
+    pub fn has_wildcard(&self) -> bool {
+        !self.wildcards.is_empty()
+    }
+
+    /// Whether the machine consumes `characters` events at all (text
+    /// predicates, string-value accumulation, or text results).
+    pub fn needs_characters(&self) -> bool {
+        !self.text_watchers.is_empty()
+            || !self.text_accumulators.is_empty()
+            || self.text_result_parent.is_some()
     }
 
     /// Number of stacked machine nodes.
@@ -410,6 +463,42 @@ mod tests {
         let m = compile("//a[*]/a/*");
         assert_eq!(m.by_name["a"].len(), 2);
         assert_eq!(m.wildcards.len(), 2); // the predicate * and the result *
+    }
+
+    #[test]
+    fn symbol_index_mirrors_name_index() {
+        let mut interner = Interner::new();
+        let tree = QueryTree::parse("//a[b]/a/*").unwrap();
+        let m = MachineSpec::compile_with(&tree, &mut interner).unwrap();
+        let a = interner.lookup("a").unwrap();
+        let b = interner.lookup("b").unwrap();
+        assert_eq!(m.machines_for(a), m.by_name["a"].as_slice());
+        assert_eq!(m.machines_for(b), m.by_name["b"].as_slice());
+        assert_eq!(m.name_symbols, vec![a, b]);
+        assert!(m.has_wildcard());
+        assert!(!m.needs_characters());
+    }
+
+    #[test]
+    fn shared_interner_gives_shared_symbols() {
+        let mut interner = Interner::new();
+        let m1 =
+            MachineSpec::compile_with(&QueryTree::parse("//a/b").unwrap(), &mut interner).unwrap();
+        let m2 =
+            MachineSpec::compile_with(&QueryTree::parse("//b/c").unwrap(), &mut interner).unwrap();
+        let b = interner.lookup("b").unwrap();
+        // `b` resolves to the same symbol in both specs; the later symbol
+        // `c` is simply out of range for the first spec.
+        assert_eq!(m1.machines_for(b), &[1]);
+        assert_eq!(m2.machines_for(b), &[0]);
+        let c = interner.lookup("c").unwrap();
+        assert_eq!(m1.machines_for(c), &[] as &[usize]);
+        assert!(MachineSpec::compile_with(
+            &QueryTree::parse("//a[text() = 'v']").unwrap(),
+            &mut interner
+        )
+        .unwrap()
+        .needs_characters());
     }
 
     #[test]

@@ -1,18 +1,23 @@
-//! The evaluation engine: SAX reader → TwigM machine → matches.
+//! The evaluation engine: SAX reader → document driver → TwigM machine.
 //!
 //! This is the assembled ViteX system of the paper's Figure 2: the XPath
-//! parser and TwigM builder run once per query; the SAX parser and TwigM
-//! machine then stream the document. The engine's only jobs are document-
-//! order node numbering (elements, their attributes, text nodes) and event
-//! plumbing — all query logic lives in [`crate::machine`].
+//! parser and TwigM builder run once per query; the
+//! [`crate::driver::DocumentDriver`] then streams the document, resolving
+//! each element name against the engine's interner once per event and
+//! feeding the machine through the symbol-dispatch fast path. All query
+//! logic lives in [`crate::machine`]; all document plumbing lives in
+//! [`crate::driver`].
 
 use std::io::Read;
 
-use vitex_xmlsax::{XmlEvent, XmlReader};
+use vitex_xmlsax::event::{CharactersEvent, EndElementEvent, StartElementEvent};
+use vitex_xmlsax::XmlReader;
 use vitex_xpath::query_tree::QueryTree;
 
-use crate::builder::{BuildError, EvalMode};
+use crate::builder::{BuildError, EvalMode, MachineSpec};
+use crate::driver::{DocumentDriver, EventSink};
 use crate::error::EngineResult;
+use crate::intern::{Interner, Symbol};
 use crate::machine::TwigM;
 use crate::result::{Match, NodeId};
 use crate::stats::MachineStats;
@@ -35,6 +40,8 @@ pub struct EvalOutput {
 /// A reusable query engine: build once, run over many documents.
 pub struct Engine {
     machine: TwigM,
+    interner: Interner,
+    driver: DocumentDriver,
 }
 
 impl Engine {
@@ -45,7 +52,13 @@ impl Engine {
 
     /// Compiles `tree` with an explicit evaluation mode.
     pub fn with_mode(tree: &QueryTree, mode: EvalMode) -> Result<Self, BuildError> {
-        Ok(Engine { machine: TwigM::with_mode(tree, mode)? })
+        let mut interner = Interner::new();
+        let spec = MachineSpec::compile_with(tree, &mut interner)?;
+        Ok(Engine {
+            machine: TwigM::from_spec(spec, mode),
+            interner,
+            driver: DocumentDriver::new(),
+        })
     }
 
     /// Convenience: compiles a query string.
@@ -64,66 +77,84 @@ impl Engine {
     /// so an engine can be reused across documents.
     pub fn run<R: Read, F: FnMut(Match)>(
         &mut self,
-        mut reader: XmlReader<R>,
-        mut on_match: F,
+        reader: XmlReader<R>,
+        on_match: F,
     ) -> EngineResult<EvalOutput> {
         self.machine.reset();
-        let mut next_id: NodeId = 0;
-        let mut elements = 0u64;
-        let mut text_nodes = 0u64;
-        let mut events = 0u64;
         let mut matches = Vec::new();
-        loop {
-            let event = reader.next_event()?;
-            events += 1;
-            match event {
-                XmlEvent::StartElement(e) => {
-                    elements += 1;
-                    let elem_id = next_id;
-                    next_id += 1 + e.attributes.len() as u64;
-                    self.machine.start_element(
-                        e.name.as_str(),
-                        e.level,
-                        &e.attributes,
-                        elem_id,
-                        elem_id + 1,
-                        e.span,
-                        &mut |m| {
-                            matches.push(m.clone());
-                            on_match(m);
-                        },
-                    );
-                }
-                XmlEvent::Characters(c) => {
-                    text_nodes += 1;
-                    let id = next_id;
-                    next_id += 1;
-                    self.machine.characters(&c.text, c.level, id, c.span, &mut |m| {
-                        matches.push(m.clone());
-                        on_match(m);
-                    });
-                }
-                XmlEvent::EndElement(e) => {
-                    self.machine.end_element(e.name.as_str(), e.level, e.element_span, &mut |m| {
-                        matches.push(m.clone());
-                        on_match(m);
-                    });
-                }
-                XmlEvent::EndDocument => break,
-                XmlEvent::StartDocument { .. }
-                | XmlEvent::Comment(_)
-                | XmlEvent::ProcessingInstruction(_)
-                | XmlEvent::DoctypeDeclaration { .. } => {}
-            }
-        }
+        let stream = {
+            let mut sink = EngineSink {
+                machine: &mut self.machine,
+                interner: &self.interner,
+                matches: &mut matches,
+                on_match,
+            };
+            self.driver.run(reader, &mut sink)?
+        };
         debug_assert!(self.machine.is_quiescent(), "well-formed input drains all stacks");
         Ok(EvalOutput {
             matches,
             stats: self.machine.stats().clone(),
-            elements,
-            text_nodes,
-            events,
+            elements: stream.elements,
+            text_nodes: stream.text_nodes,
+            events: stream.events,
         })
+    }
+}
+
+/// The single-query [`EventSink`]: every event goes to the one machine.
+struct EngineSink<'a, F: FnMut(Match)> {
+    machine: &'a mut TwigM,
+    interner: &'a Interner,
+    matches: &'a mut Vec<Match>,
+    on_match: F,
+}
+
+impl<F: FnMut(Match)> EventSink for EngineSink<'_, F> {
+    fn resolve(&mut self, name: &str) -> Option<Symbol> {
+        self.interner.lookup(name)
+    }
+
+    fn start_element(
+        &mut self,
+        sym: Option<Symbol>,
+        event: &StartElementEvent,
+        node_id: NodeId,
+        attr_id_base: NodeId,
+    ) {
+        let matches = &mut *self.matches;
+        let on_match = &mut self.on_match;
+        self.machine.start_element_interned(
+            sym,
+            event.name.as_str(),
+            event.level,
+            &event.attributes,
+            node_id,
+            attr_id_base,
+            event.span,
+            &mut |m| {
+                matches.push(m.clone());
+                on_match(m);
+            },
+        );
+    }
+
+    fn characters(&mut self, event: &CharactersEvent, node_id: NodeId) {
+        let matches = &mut *self.matches;
+        let on_match = &mut self.on_match;
+        self.machine.characters(&event.text, event.level, node_id, event.span, &mut |m| {
+            matches.push(m.clone());
+            on_match(m);
+        });
+    }
+
+    fn end_element(&mut self, _sym: Option<Symbol>, event: &EndElementEvent) {
+        let matches = &mut *self.matches;
+        let on_match = &mut self.on_match;
+        self.machine.end_element(event.name.as_str(), event.level, event.element_span, &mut |m| {
+            matches.push(m.clone());
+            on_match(m);
+        });
     }
 }
 
@@ -189,9 +220,7 @@ mod tests {
         let tree = QueryTree::parse("//b").unwrap();
         let mut engine = Engine::new(&tree).unwrap();
         let mut at_emit = Vec::new();
-        let out = engine
-            .run(XmlReader::from_str(xml), |m| at_emit.push(m.node))
-            .unwrap();
+        let out = engine.run(XmlReader::from_str(xml), |m| at_emit.push(m.node)).unwrap();
         assert_eq!(out.matches.len(), 1);
         assert_eq!(at_emit, vec![1]);
     }
@@ -221,9 +250,7 @@ mod tests {
     fn counts_are_reported() {
         let tree = QueryTree::parse("//b").unwrap();
         let mut engine = Engine::new(&tree).unwrap();
-        let out = engine
-            .run(XmlReader::from_str("<a><b>t</b><c/></a>"), |_| {})
-            .unwrap();
+        let out = engine.run(XmlReader::from_str("<a><b>t</b><c/></a>"), |_| {}).unwrap();
         assert_eq!(out.elements, 3);
         assert_eq!(out.text_nodes, 1);
         assert!(out.events >= 8);
@@ -237,5 +264,51 @@ mod tests {
         // and attribute matches use the attribute's own id.
         let ms = evaluate_str("<a x=\"1\" y=\"2\"><b/></a>", "//a/@y").unwrap();
         assert_eq!(ms[0].node, 2);
+    }
+
+    #[test]
+    fn interned_and_string_dispatch_agree() {
+        // The engine path (symbol dispatch through the driver) and the raw
+        // string API must produce identical results — including on names
+        // absent from the query (symbol `None`).
+        use vitex_xmlsax::XmlEvent;
+        let xml = "<a><x/><b>t</b><x><b/></x></a>";
+        let tree = QueryTree::parse("//a/*[b]").unwrap();
+        let engine_ids: Vec<u64> =
+            evaluate_str(xml, "//a/*[b]").unwrap().iter().map(|m| m.node).collect();
+        // Drive a machine manually through the string API.
+        let mut machine = TwigM::new(&tree).unwrap();
+        let mut next_id = 0u64;
+        let mut manual_ids = Vec::new();
+        for event in XmlReader::from_str(xml).collect_events().unwrap() {
+            match event {
+                XmlEvent::StartElement(e) => {
+                    let id = next_id;
+                    next_id += 1 + e.attributes.len() as u64;
+                    machine.start_element(
+                        e.name.as_str(),
+                        e.level,
+                        &e.attributes,
+                        id,
+                        id + 1,
+                        e.span,
+                        &mut |m| manual_ids.push(m.node),
+                    );
+                }
+                XmlEvent::Characters(c) => {
+                    let id = next_id;
+                    next_id += 1;
+                    machine
+                        .characters(&c.text, c.level, id, c.span, &mut |m| manual_ids.push(m.node));
+                }
+                XmlEvent::EndElement(e) => {
+                    machine.end_element(e.name.as_str(), e.level, e.element_span, &mut |m| {
+                        manual_ids.push(m.node)
+                    });
+                }
+                _ => {}
+            }
+        }
+        assert_eq!(engine_ids, manual_ids);
     }
 }

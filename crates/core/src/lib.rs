@@ -31,6 +31,12 @@
 //! * [`evaluate_str`] / [`evaluate_reader`] — one-call evaluation.
 //! * [`engine::Engine`] — incremental: feed events, receive matches via a
 //!   callback as soon as they are decidable.
+//! * [`multi::MultiEngine`] — publish/subscribe: many standing queries,
+//!   one scan, with an interned-name dispatch index so an event only
+//!   touches interested machines.
+//! * [`driver::DocumentDriver`] — the single SAX event loop (node
+//!   numbering, counting, symbol resolution) behind both engines; custom
+//!   consumers implement [`driver::EventSink`].
 //! * [`machine::TwigM`] — the raw machine, for callers with their own event
 //!   source.
 //!
@@ -48,8 +54,10 @@
 
 pub mod bitset;
 pub mod builder;
+pub mod driver;
 pub mod engine;
 pub mod error;
+pub mod intern;
 pub mod machine;
 pub mod multi;
 pub mod predicate;
@@ -57,9 +65,11 @@ pub mod result;
 pub mod stats;
 
 pub use builder::{BuildError, EvalMode, MachineSpec};
+pub use driver::{DocumentDriver, EventSink};
 pub use engine::{evaluate_reader, evaluate_str, Engine, EvalOutput};
 pub use error::{EngineError, EngineResult};
+pub use intern::{Interner, Symbol};
 pub use machine::TwigM;
-pub use multi::{MultiEngine, QueryId};
+pub use multi::{DispatchMode, MultiEngine, MultiOutput, QueryId};
 pub use result::{Match, MatchKind};
-pub use stats::MachineStats;
+pub use stats::{MachineStats, StreamStats};

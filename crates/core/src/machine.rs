@@ -46,6 +46,7 @@ use vitex_xpath::{Axis, CmpOp, Literal};
 
 use crate::bitset::SmallBitSet;
 use crate::builder::{BuildError, EvalMode, MachineSpec};
+use crate::intern::Symbol;
 use crate::predicate;
 use crate::result::{Match, MatchKind};
 use crate::stats::MachineStats;
@@ -291,11 +292,16 @@ impl TwigM {
     // Transitions
     // ------------------------------------------------------------- //
 
-    /// `startElement`: push onto every machine node the element matches.
+    /// `startElement`, dispatched by raw name: push onto every machine
+    /// node the element matches.
     ///
     /// `node_id` is the element's document-order id; its attributes get ids
     /// `attr_id_base + i`. `tag_span` is the byte span of the start tag
-    /// (used as the span of attribute matches).
+    /// (used as the span of attribute matches). Name resolution hashes the
+    /// string against this machine's name index; stream-driving callers go
+    /// through [`TwigM::start_element_interned`] instead, which the
+    /// [`crate::driver::DocumentDriver`] feeds with a symbol resolved once
+    /// per event.
     #[allow(clippy::too_many_arguments)]
     pub fn start_element(
         &mut self,
@@ -307,17 +313,63 @@ impl TwigM {
         tag_span: ByteSpan,
         emit: &mut dyn FnMut(Match),
     ) {
-        // Phase 1: plan all pushes against the pre-event stack state.
         let mut plan = std::mem::take(&mut self.plan);
-        plan.clear();
         let named = self.spec.by_name.get(name).map(|v| v.as_slice()).unwrap_or(&[]);
+        self.plan_pushes(named, level, &mut plan);
+        self.apply_pushes(&plan, name, level, attributes, node_id, attr_id_base, tag_span, emit);
+        self.plan = plan;
+    }
+
+    /// `startElement`, dispatched by interned symbol: integer-indexed
+    /// lookup instead of a per-machine string hash. `sym` must come from
+    /// the interner this machine's spec was compiled with (`None` means
+    /// the name is not interned there — only wildcard nodes can match).
+    #[allow(clippy::too_many_arguments)]
+    pub fn start_element_interned(
+        &mut self,
+        sym: Option<Symbol>,
+        name: &str,
+        level: u32,
+        attributes: &[Attribute],
+        node_id: u64,
+        attr_id_base: u64,
+        tag_span: ByteSpan,
+        emit: &mut dyn FnMut(Match),
+    ) {
+        let mut plan = std::mem::take(&mut self.plan);
+        let named = sym.map(|s| self.spec.machines_for(s)).unwrap_or(&[]);
+        self.plan_pushes(named, level, &mut plan);
+        self.apply_pushes(&plan, name, level, attributes, node_id, attr_id_base, tag_span, emit);
+        self.plan = plan;
+    }
+
+    /// Phase 1 of `startElement`: plan all pushes for the `named` and
+    /// wildcard machine nodes against the pre-event stack state. Shared by
+    /// both dispatch entry points so the string and interned paths can
+    /// never diverge.
+    fn plan_pushes(&self, named: &[usize], level: u32, plan: &mut Vec<(u32, u32)>) {
+        plan.clear();
         for &q in named.iter().chain(&self.spec.wildcards) {
             if let Some(ptr) = self.push_point(q, level) {
                 plan.push((q as u32, ptr));
             }
         }
-        // Phase 2: apply.
-        for &(q, ptr) in &plan {
+    }
+
+    /// Phase 2 of `startElement`: apply a planned set of pushes.
+    #[allow(clippy::too_many_arguments)]
+    fn apply_pushes(
+        &mut self,
+        plan: &[(u32, u32)],
+        name: &str,
+        level: u32,
+        attributes: &[Attribute],
+        node_id: u64,
+        attr_id_base: u64,
+        tag_span: ByteSpan,
+        emit: &mut dyn FnMut(Match),
+    ) {
+        for &(q, ptr) in plan {
             self.push_entry(
                 q as usize,
                 ptr,
@@ -330,7 +382,6 @@ impl TwigM {
                 emit,
             );
         }
-        self.plan = plan;
     }
 
     /// Where would machine node `q` attach for an element at `level`?
@@ -612,8 +663,7 @@ impl TwigM {
             // only ever produce duplicates, so they are skipped too).
             let target_hot = {
                 let pn = &self.spec.nodes[p];
-                pn.is_root
-                    && self.stacks[p][e.ptr as usize].flags.all_set(pn.nflags as usize)
+                pn.is_root && self.stacks[p][e.ptr as usize].flags.all_set(pn.nflags as usize)
             };
             if target_hot {
                 for c in e.cands.drain() {
@@ -694,9 +744,7 @@ impl TwigM {
             if idx > 0 {
                 // Split the borrow: the entry is already popped, so the
                 // stack top is `idx - 1`.
-                let below = self.stacks[q]
-                    .last_mut()
-                    .expect("idx > 0 means a lower entry exists");
+                let below = self.stacks[q].last_mut().expect("idx > 0 means a lower entry exists");
                 for c in e.cands.drain() {
                     if c.low < idx as u32 {
                         stats.candidates_inherited += 1;
@@ -780,15 +828,13 @@ mod tests {
             self.level += 1;
             let id = self.next_id;
             self.next_id += 1 + attrs.len() as u64;
-            let attrs: Vec<Attribute> =
-                attrs.iter().map(|(n, v)| Attribute::new(*n, *v)).collect();
+            let attrs: Vec<Attribute> = attrs.iter().map(|(n, v)| Attribute::new(*n, *v)).collect();
             let span = ByteSpan::new(self.offset, self.offset + 1);
             self.offset += 1;
             let matches = &mut self.matches;
-            self.machine
-                .start_element(name, self.level, &attrs, id, id + 1, span, &mut |m| {
-                    matches.push(m)
-                });
+            self.machine.start_element(name, self.level, &attrs, id, id + 1, span, &mut |m| {
+                matches.push(m)
+            });
             self
         }
 
@@ -798,8 +844,7 @@ mod tests {
             let span = ByteSpan::new(self.offset, self.offset + t.len() as u64);
             self.offset += t.len() as u64;
             let matches = &mut self.matches;
-            self.machine
-                .characters(t, self.level, id, span, &mut |m| matches.push(m));
+            self.machine.characters(t, self.level, id, span, &mut |m| matches.push(m));
             self
         }
 

@@ -4,17 +4,42 @@
 //! personalized newspapers — are publish/subscribe systems: *many*
 //! standing queries watch *one* stream. Because TwigM machines are
 //! independent consumers of the same SAX events, running `k` queries costs
-//! one parse plus `k` machine updates, not `k` parses. [`MultiEngine`]
+//! one parse plus machine updates, not `k` parses. [`MultiEngine`]
 //! packages that: register queries, stream a document once, receive
-//! `(query index, match)` pairs as they become decidable.
+//! `(query id, match)` pairs as they become decidable.
+//!
+//! ## Dispatch
+//!
+//! Poking every machine on every event makes the per-event cost `O(k)` —
+//! fatal at thousands of standing queries. The engine therefore builds a
+//! **dispatch index** over the shared [`Interner`]:
+//!
+//! * per interned element name, a [`DynBitSet`] of machines whose query
+//!   mentions that name;
+//! * an always-on set of machines containing a wildcard step (they must
+//!   see every element);
+//! * the list of machines that consume `characters` events at all.
+//!
+//! A `startElement` then touches only machines interested in that name
+//! (plus wildcards), and the end tag replays the same set via the symbol
+//! the [`DocumentDriver`] remembered from the start tag. This is sound
+//! because a machine's stacks only ever hold entries for elements it was
+//! shown: skipping an element's start guarantees there is nothing to pop
+//! at its end, and text/attribute tests live inside the delivered events.
+//! [`DispatchMode::Scan`] keeps the poke-everyone path for measurement
+//! (`bench_multi` quantifies the gap).
 
 use std::io::Read;
 
-use vitex_xmlsax::{XmlEvent, XmlReader};
+use vitex_xmlsax::event::{CharactersEvent, EndElementEvent, StartElementEvent};
+use vitex_xmlsax::XmlReader;
 use vitex_xpath::query_tree::QueryTree;
 
-use crate::builder::EvalMode;
+use crate::bitset::DynBitSet;
+use crate::builder::{EvalMode, MachineSpec};
+use crate::driver::{DocumentDriver, EventSink};
 use crate::error::EngineResult;
+use crate::intern::{Interner, Symbol};
 use crate::machine::TwigM;
 use crate::result::{Match, NodeId};
 use crate::stats::MachineStats;
@@ -22,6 +47,18 @@ use crate::stats::MachineStats;
 /// A registered query's handle.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct QueryId(pub usize);
+
+/// How start/end element events are routed to machines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DispatchMode {
+    /// Use the name → machines index; only interested machines are
+    /// touched per event. The default.
+    #[default]
+    Indexed,
+    /// Poke every machine on every event (the pre-index behaviour), kept
+    /// for ablation benchmarks.
+    Scan,
+}
 
 /// Summary of one multi-query run.
 #[derive(Debug, Clone)]
@@ -32,18 +69,98 @@ pub struct MultiOutput {
     pub stats: Vec<MachineStats>,
     /// Elements seen in the single scan.
     pub elements: u64,
+    /// Text nodes seen in the single scan.
+    pub text_nodes: u64,
+    /// Total SAX events processed in the single scan.
+    pub events: u64,
+}
+
+/// The dispatch index: which machines care about which events.
+#[derive(Debug, Default)]
+struct DispatchIndex {
+    /// Symbol index → machines whose query mentions that name (and have
+    /// no wildcard step — wildcard machines live in `wildcard`).
+    by_symbol: Vec<DynBitSet>,
+    /// Machines containing a wildcard element step: they see every
+    /// element event.
+    wildcard: DynBitSet,
+    /// Machines that consume `characters` events.
+    text: Vec<usize>,
+}
+
+impl DispatchIndex {
+    fn build(machines: &[TwigM], interner: &Interner) -> Self {
+        let mut index = DispatchIndex {
+            by_symbol: vec![DynBitSet::new(); interner.len()],
+            ..DispatchIndex::default()
+        };
+        for (qi, machine) in machines.iter().enumerate() {
+            let spec = machine.spec();
+            if spec.has_wildcard() {
+                // A wildcard machine sees every element, which subsumes
+                // its named interests.
+                index.wildcard.insert(qi);
+            } else {
+                for &sym in &spec.name_symbols {
+                    index.by_symbol[sym.index()].insert(qi);
+                }
+            }
+            if spec.needs_characters() {
+                index.text.push(qi);
+            }
+        }
+        index
+    }
+
+    /// Calls `f` for every machine interested in an element with symbol
+    /// `sym` (named machines ∪ wildcard machines).
+    #[inline]
+    fn for_each_element_target(&self, sym: Option<Symbol>, f: impl FnMut(usize)) {
+        match sym.and_then(|s| self.by_symbol.get(s.index())) {
+            Some(named) => named.union_for_each(&self.wildcard, f),
+            None => self.wildcard.for_each(f),
+        }
+    }
 }
 
 /// Evaluates many queries in a single sequential scan.
 pub struct MultiEngine {
     machines: Vec<TwigM>,
     queries: Vec<String>,
+    interner: Interner,
+    driver: DocumentDriver,
+    mode: DispatchMode,
+    index: DispatchIndex,
+    index_dirty: bool,
 }
 
 impl MultiEngine {
-    /// Creates an empty engine.
+    /// Creates an empty engine with indexed dispatch.
     pub fn new() -> Self {
-        MultiEngine { machines: Vec::new(), queries: Vec::new() }
+        MultiEngine::with_dispatch(DispatchMode::Indexed)
+    }
+
+    /// Creates an empty engine with an explicit dispatch mode.
+    pub fn with_dispatch(mode: DispatchMode) -> Self {
+        MultiEngine {
+            machines: Vec::new(),
+            queries: Vec::new(),
+            interner: Interner::new(),
+            driver: DocumentDriver::new(),
+            mode,
+            index: DispatchIndex::default(),
+            index_dirty: false,
+        }
+    }
+
+    /// The active dispatch mode.
+    pub fn dispatch(&self) -> DispatchMode {
+        self.mode
+    }
+
+    /// Switches dispatch mode (takes effect on the next run).
+    pub fn set_dispatch(&mut self, mode: DispatchMode) {
+        self.mode = mode;
     }
 
     /// Registers a query; returns its handle.
@@ -54,10 +171,12 @@ impl MultiEngine {
 
     /// Registers an already-built query tree.
     pub fn add_tree(&mut self, tree: &QueryTree) -> EngineResult<QueryId> {
-        let machine = TwigM::with_mode(tree, EvalMode::Compact)?;
+        let spec = MachineSpec::compile_with(tree, &mut self.interner)?;
+        let machine = TwigM::from_spec(spec, EvalMode::Compact);
         let id = QueryId(self.machines.len());
         self.queries.push(tree.original().to_owned());
         self.machines.push(machine);
+        self.index_dirty = true;
         Ok(id)
     }
 
@@ -81,62 +200,33 @@ impl MultiEngine {
     /// decidable.
     pub fn run<R: Read, F: FnMut(QueryId, Match)>(
         &mut self,
-        mut reader: XmlReader<R>,
-        mut on_match: F,
+        reader: XmlReader<R>,
+        on_match: F,
     ) -> EngineResult<MultiOutput> {
         for m in &mut self.machines {
             m.reset();
         }
-        let mut matches: Vec<Vec<Match>> = self.machines.iter().map(|_| Vec::new()).collect();
-        let mut next_id: NodeId = 0;
-        let mut elements = 0u64;
-        loop {
-            match reader.next_event()? {
-                XmlEvent::StartElement(e) => {
-                    elements += 1;
-                    let elem_id = next_id;
-                    next_id += 1 + e.attributes.len() as u64;
-                    for (qi, m) in self.machines.iter_mut().enumerate() {
-                        m.start_element(
-                            e.name.as_str(),
-                            e.level,
-                            &e.attributes,
-                            elem_id,
-                            elem_id + 1,
-                            e.span,
-                            &mut |hit| {
-                                matches[qi].push(hit.clone());
-                                on_match(QueryId(qi), hit);
-                            },
-                        );
-                    }
-                }
-                XmlEvent::Characters(c) => {
-                    let id = next_id;
-                    next_id += 1;
-                    for (qi, m) in self.machines.iter_mut().enumerate() {
-                        m.characters(&c.text, c.level, id, c.span, &mut |hit| {
-                            matches[qi].push(hit.clone());
-                            on_match(QueryId(qi), hit);
-                        });
-                    }
-                }
-                XmlEvent::EndElement(e) => {
-                    for (qi, m) in self.machines.iter_mut().enumerate() {
-                        m.end_element(e.name.as_str(), e.level, e.element_span, &mut |hit| {
-                            matches[qi].push(hit.clone());
-                            on_match(QueryId(qi), hit);
-                        });
-                    }
-                }
-                XmlEvent::EndDocument => break,
-                _ => {}
-            }
+        if self.index_dirty {
+            self.index = DispatchIndex::build(&self.machines, &self.interner);
+            self.index_dirty = false;
         }
+        let mut matches: Vec<Vec<Match>> = self.machines.iter().map(|_| Vec::new()).collect();
+        let stream = {
+            let mut sink = MultiSink {
+                machines: &mut self.machines,
+                interner: &self.interner,
+                index: (self.mode == DispatchMode::Indexed).then_some(&self.index),
+                matches: &mut matches,
+                on_match,
+            };
+            self.driver.run(reader, &mut sink)?
+        };
         Ok(MultiOutput {
             matches,
             stats: self.machines.iter().map(|m| m.stats().clone()).collect(),
-            elements,
+            elements: stream.elements,
+            text_nodes: stream.text_nodes,
+            events: stream.events,
         })
     }
 }
@@ -144,6 +234,92 @@ impl MultiEngine {
 impl Default for MultiEngine {
     fn default() -> Self {
         MultiEngine::new()
+    }
+}
+
+/// The multi-query [`EventSink`]: routes each event to the interested
+/// machines (or all of them in [`DispatchMode::Scan`]).
+struct MultiSink<'a, F: FnMut(QueryId, Match)> {
+    machines: &'a mut [TwigM],
+    interner: &'a Interner,
+    /// `Some` in indexed mode, `None` in scan mode.
+    index: Option<&'a DispatchIndex>,
+    matches: &'a mut [Vec<Match>],
+    on_match: F,
+}
+
+impl<F: FnMut(QueryId, Match)> MultiSink<'_, F> {
+    /// Runs `f` on machine `qi` with a match callback wired to that
+    /// query's buffer and the user callback.
+    #[inline]
+    fn with_machine(&mut self, qi: usize, f: impl FnOnce(&mut TwigM, &mut dyn FnMut(Match))) {
+        let matches = &mut self.matches[qi];
+        let on_match = &mut self.on_match;
+        f(&mut self.machines[qi], &mut |hit| {
+            matches.push(hit.clone());
+            on_match(QueryId(qi), hit);
+        });
+    }
+}
+
+impl<F: FnMut(QueryId, Match)> EventSink for MultiSink<'_, F> {
+    fn resolve(&mut self, name: &str) -> Option<Symbol> {
+        self.interner.lookup(name)
+    }
+
+    fn start_element(
+        &mut self,
+        sym: Option<Symbol>,
+        event: &StartElementEvent,
+        node_id: NodeId,
+        attr_id_base: NodeId,
+    ) {
+        let touch = |this: &mut Self, qi: usize| {
+            this.with_machine(qi, |machine, emit| {
+                machine.start_element_interned(
+                    sym,
+                    event.name.as_str(),
+                    event.level,
+                    &event.attributes,
+                    node_id,
+                    attr_id_base,
+                    event.span,
+                    emit,
+                );
+            });
+        };
+        match self.index {
+            Some(index) => index.for_each_element_target(sym, |qi| touch(self, qi)),
+            None => (0..self.machines.len()).for_each(|qi| touch(self, qi)),
+        }
+    }
+
+    fn characters(&mut self, event: &CharactersEvent, node_id: NodeId) {
+        let touch = |this: &mut Self, qi: usize| {
+            this.with_machine(qi, |machine, emit| {
+                machine.characters(&event.text, event.level, node_id, event.span, emit);
+            });
+        };
+        match self.index {
+            Some(index) => {
+                for i in 0..index.text.len() {
+                    touch(self, index.text[i]);
+                }
+            }
+            None => (0..self.machines.len()).for_each(|qi| touch(self, qi)),
+        }
+    }
+
+    fn end_element(&mut self, sym: Option<Symbol>, event: &EndElementEvent) {
+        let touch = |this: &mut Self, qi: usize| {
+            this.with_machine(qi, |machine, emit| {
+                machine.end_element(event.name.as_str(), event.level, event.element_span, emit);
+            });
+        };
+        match self.index {
+            Some(index) => index.for_each_element_target(sym, |qi| touch(self, qi)),
+            None => (0..self.machines.len()).for_each(|qi| touch(self, qi)),
+        }
     }
 }
 
@@ -169,16 +345,18 @@ mod tests {
     fn results_agree_with_single_engines() {
         let xml = vitex_xmlgen_free::random_doc(99);
         let queries = ["//a", "//a[b]", "//a/@id", "//b/text()", "//a//b[c]"];
-        let mut multi = MultiEngine::new();
-        for q in &queries {
-            multi.add_query(q).unwrap();
-        }
-        let out = multi.run(XmlReader::from_str(&xml), |_, _| {}).unwrap();
-        for (i, q) in queries.iter().enumerate() {
-            let single = crate::engine::evaluate_str(&xml, q).unwrap();
-            let multi_ids: Vec<u64> = out.matches[i].iter().map(|m| m.node).collect();
-            let single_ids: Vec<u64> = single.iter().map(|m| m.node).collect();
-            assert_eq!(multi_ids, single_ids, "query {q}");
+        for mode in [DispatchMode::Indexed, DispatchMode::Scan] {
+            let mut multi = MultiEngine::with_dispatch(mode);
+            for q in &queries {
+                multi.add_query(q).unwrap();
+            }
+            let out = multi.run(XmlReader::from_str(&xml), |_, _| {}).unwrap();
+            for (i, q) in queries.iter().enumerate() {
+                let single = crate::engine::evaluate_str(&xml, q).unwrap();
+                let multi_ids: Vec<u64> = out.matches[i].iter().map(|m| m.node).collect();
+                let single_ids: Vec<u64> = single.iter().map(|m| m.node).collect();
+                assert_eq!(multi_ids, single_ids, "query {q} mode {mode:?}");
+            }
         }
     }
 
@@ -188,9 +366,7 @@ mod tests {
         multi.add_query("//a").unwrap();
         multi.add_query("//b").unwrap();
         let mut hits = Vec::new();
-        multi
-            .run(XmlReader::from_str("<a><b/></a>"), |q, m| hits.push((q.0, m.node)))
-            .unwrap();
+        multi.run(XmlReader::from_str("<a><b/></a>"), |q, m| hits.push((q.0, m.node))).unwrap();
         hits.sort_unstable();
         assert_eq!(hits, [(0, 0), (1, 1)]);
     }
@@ -199,6 +375,7 @@ mod tests {
     fn query_text_and_introspection() {
         let mut multi = MultiEngine::default();
         assert!(multi.is_empty());
+        assert_eq!(multi.dispatch(), DispatchMode::Indexed);
         let id = multi.add_query("//a[ b ]").unwrap();
         assert_eq!(multi.len(), 1);
         assert_eq!(multi.query_text(id), "//a[b]");
@@ -212,6 +389,74 @@ mod tests {
         let b = multi.run(XmlReader::from_str("<a><b/><b/></a>"), |_, _| {}).unwrap();
         assert_eq!(a.matches[q.0].len(), 1);
         assert_eq!(b.matches[q.0].len(), 2);
+    }
+
+    #[test]
+    fn stream_counts_match_single_engine_instrumentation() {
+        // MultiOutput parity: the same stream counters EvalOutput reports.
+        let xml = "<a><b>text</b><!--c--><d/></a>";
+        let mut multi = MultiEngine::new();
+        multi.add_query("//b").unwrap();
+        let out = multi.run(XmlReader::from_str(xml), |_, _| {}).unwrap();
+        let single = crate::engine::evaluate_str(xml, "//b").unwrap();
+        assert_eq!(single.len(), 1);
+        let eval = {
+            let tree = vitex_xpath::QueryTree::parse("//b").unwrap();
+            crate::engine::evaluate_reader(XmlReader::from_str(xml), &tree).unwrap()
+        };
+        assert_eq!(out.elements, eval.elements);
+        assert_eq!(out.text_nodes, eval.text_nodes);
+        assert_eq!(out.events, eval.events);
+        assert_eq!(out.text_nodes, 1);
+        assert!(out.events >= 8, "comments count as events: {}", out.events);
+    }
+
+    #[test]
+    fn wildcard_only_machine_sees_every_event() {
+        // A machine whose steps are all wildcards has an empty name index;
+        // the dispatch index must still deliver every element to it.
+        let xml = "<r><x><y/></x><z/></r>";
+        let mut multi = MultiEngine::new();
+        let q = multi.add_query("//*/*").unwrap();
+        let out = multi.run(XmlReader::from_str(xml), |_, _| {}).unwrap();
+        // Matches: x, y, z (every non-root element).
+        assert_eq!(out.matches[q.0].len(), 3);
+        // And its machine saw all 4 elements (pushes at the wildcard root).
+        assert!(out.stats[q.0].pushes >= 4);
+    }
+
+    #[test]
+    fn late_registration_rebuilds_the_index() {
+        let mut multi = MultiEngine::new();
+        let qa = multi.add_query("//a").unwrap();
+        let out = multi.run(XmlReader::from_str("<a><b/></a>"), |_, _| {}).unwrap();
+        assert_eq!(out.matches[qa.0].len(), 1);
+        // Register a query for a new name after a run: the index must pick
+        // up both the new machine and the new symbol.
+        let qb = multi.add_query("//b").unwrap();
+        let out = multi.run(XmlReader::from_str("<a><b/></a>"), |_, _| {}).unwrap();
+        assert_eq!(out.matches[qa.0].len(), 1);
+        assert_eq!(out.matches[qb.0].len(), 1);
+    }
+
+    #[test]
+    fn scan_and_indexed_dispatch_agree_on_stats() {
+        // Same machines, same document: per-query machine statistics must
+        // be identical in both dispatch modes (untouched machines do no
+        // work in either).
+        let xml = vitex_xmlgen_free::random_doc(7);
+        let queries = ["//a[b]/c", "//b//c", "//c/@id", "//*[a]"];
+        let run = |mode| {
+            let mut multi = MultiEngine::with_dispatch(mode);
+            for q in &queries {
+                multi.add_query(q).unwrap();
+            }
+            multi.run(XmlReader::from_str(&xml), |_, _| {}).unwrap()
+        };
+        let indexed = run(DispatchMode::Indexed);
+        let scanned = run(DispatchMode::Scan);
+        assert_eq!(indexed.stats, scanned.stats);
+        assert_eq!(indexed.events, scanned.events);
     }
 
     /// A tiny deterministic random document without depending on

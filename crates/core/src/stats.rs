@@ -6,6 +6,22 @@
 //! candidate buffers, string-value accumulators — so experiments E1 and E6
 //! can report peak machine-resident bytes without an OS profiler.
 
+/// Document-stream counters maintained by the
+/// [`crate::driver::DocumentDriver`] — one set per scan, shared verbatim
+/// by single-query ([`crate::engine::EvalOutput`]) and multi-query
+/// ([`crate::multi::MultiOutput`]) runs so both report identical
+/// instrumentation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StreamStats {
+    /// Elements seen in the scan.
+    pub elements: u64,
+    /// Text nodes seen in the scan.
+    pub text_nodes: u64,
+    /// Total SAX events processed (including structural events such as
+    /// comments and the terminating `EndDocument`).
+    pub events: u64,
+}
+
 /// Counters and gauges maintained by the TwigM machine.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct MachineStats {

@@ -1,0 +1,235 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment cannot reach crates.io, so this shim provides the
+//! benchmark-harness API surface the workspace's benches use — groups,
+//! `bench_with_input`, throughput annotations, `criterion_group!` /
+//! `criterion_main!` — measured with plain wall-clock timing: a warm-up
+//! run, then iterations until the group's measurement time (or sample
+//! count) is exhausted, reporting min / mean per iteration and derived
+//! throughput. No statistical machinery, no plots, no baselines; the point
+//! is comparable numbers from `cargo bench` without network access.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level handle passed to benchmark functions.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group of related measurements.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n== {name} ==");
+        BenchmarkGroup {
+            _parent: self,
+            name,
+            sample_size: 10,
+            measurement_time: Duration::from_secs(2),
+            throughput: None,
+        }
+    }
+}
+
+/// Work-per-iteration annotation for derived throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Logical elements processed per iteration.
+    Elements(u64),
+}
+
+/// A benchmark's identifier: function name plus parameter value.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { label: format!("{}/{}", function.into(), parameter) }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { label: s.to_owned() }
+    }
+}
+
+/// A group of related measurements sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark (min 1).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Wall-clock budget per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Annotates subsequent benchmarks with work-per-iteration.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Measures `f`, handing it a [`Bencher`] and the input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher::new(self.sample_size, self.measurement_time);
+        f(&mut bencher, input);
+        self.report(&id.label, &bencher);
+        self
+    }
+
+    /// Measures a parameterless benchmark function.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher::new(self.sample_size, self.measurement_time);
+        f(&mut bencher);
+        self.report(&id.label, &bencher);
+        self
+    }
+
+    /// Ends the group (prints nothing extra; provided for API parity).
+    pub fn finish(self) {}
+
+    fn report(&self, label: &str, bencher: &Bencher) {
+        let Some(min) = bencher.min else {
+            println!("{}/{label}: no samples", self.name);
+            return;
+        };
+        let mean = bencher.total / bencher.samples.max(1) as u32;
+        let rate = match self.throughput {
+            Some(Throughput::Bytes(b)) => {
+                format!("  {:>10.1} MiB/s", b as f64 / (1 << 20) as f64 / min.as_secs_f64())
+            }
+            Some(Throughput::Elements(n)) => {
+                format!("  {:>10.1} Kelem/s", n as f64 / 1e3 / min.as_secs_f64())
+            }
+            None => String::new(),
+        };
+        println!(
+            "{}/{label}: min {}  mean {}  ({} samples){rate}",
+            self.name,
+            fmt_duration(min),
+            fmt_duration(mean),
+            bencher.samples,
+        );
+    }
+}
+
+/// Runs and times the measured closure.
+pub struct Bencher {
+    sample_size: usize,
+    measurement_time: Duration,
+    samples: usize,
+    total: Duration,
+    min: Option<Duration>,
+}
+
+impl Bencher {
+    fn new(sample_size: usize, measurement_time: Duration) -> Self {
+        Bencher { sample_size, measurement_time, samples: 0, total: Duration::ZERO, min: None }
+    }
+
+    /// Times `f` repeatedly: one warm-up call, then samples until either
+    /// the configured sample count or the measurement budget is exhausted.
+    pub fn iter<T, F: FnMut() -> T>(&mut self, mut f: F) {
+        black_box(f()); // warm-up (also primes caches/allocations)
+        let budget = Instant::now();
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            black_box(f());
+            let d = t.elapsed();
+            self.samples += 1;
+            self.total += d;
+            self.min = Some(self.min.map_or(d, |m| m.min(d)));
+            if budget.elapsed() >= self.measurement_time {
+                break;
+            }
+        }
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let s = d.as_secs_f64();
+    if s >= 1.0 {
+        format!("{s:.3}s")
+    } else if s >= 1e-3 {
+        format!("{:.3}ms", s * 1e3)
+    } else {
+        format!("{:.1}µs", s * 1e6)
+    }
+}
+
+/// Declares a benchmark group runner function, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, criterion-style.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_samples() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim_test");
+        group.sample_size(3).measurement_time(Duration::from_millis(50));
+        group.throughput(Throughput::Bytes(1024));
+        group.bench_with_input(BenchmarkId::new("id", 1), &7u32, |b, &x| b.iter(|| x * 2));
+        group.finish();
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert!(fmt_duration(Duration::from_secs(2)).ends_with('s'));
+        assert!(fmt_duration(Duration::from_millis(5)).ends_with("ms"));
+        assert!(fmt_duration(Duration::from_micros(5)).ends_with("µs"));
+    }
+}

@@ -76,10 +76,8 @@ pub fn generate<W: Write>(writer: &mut XmlWriter<W>, config: &AuctionConfig) -> 
 fn write_item<W: Write>(w: &mut XmlWriter<W>, rng: &mut StdRng, id: u64) -> WriteResult<()> {
     w.start_element("item")?;
     w.attribute("id", &format!("item{id}"))?;
-    let name: String = (0..3)
-        .map(|_| WORDS[rng.gen_range(0..WORDS.len())])
-        .collect::<Vec<_>>()
-        .join(" ");
+    let name: String =
+        (0..3).map(|_| WORDS[rng.gen_range(0..WORDS.len())]).collect::<Vec<_>>().join(" ");
     w.leaf("name", &name)?;
     w.leaf("payment", if rng.gen_bool(0.5) { "Creditcard" } else { "Cash" })?;
     w.start_element("description")?;
@@ -94,7 +92,7 @@ fn write_item<W: Write>(w: &mut XmlWriter<W>, rng: &mut StdRng, id: u64) -> Writ
     w.end_element()?; // parlist
     w.end_element()?; // description
     w.start_element("quantity")?;
-    w.text(&rng.gen_range(1..10).to_string())?;
+    w.text(&rng.gen_range(1..10i32).to_string())?;
     w.end_element()?;
     w.end_element() // item
 }
@@ -102,11 +100,8 @@ fn write_item<W: Write>(w: &mut XmlWriter<W>, rng: &mut StdRng, id: u64) -> Writ
 fn write_person<W: Write>(w: &mut XmlWriter<W>, rng: &mut StdRng, id: u64) -> WriteResult<()> {
     w.start_element("person")?;
     w.attribute("id", &format!("person{id}"))?;
-    let name = format!(
-        "{} {}",
-        FIRST[rng.gen_range(0..FIRST.len())],
-        LAST[rng.gen_range(0..LAST.len())]
-    );
+    let name =
+        format!("{} {}", FIRST[rng.gen_range(0..FIRST.len())], LAST[rng.gen_range(0..LAST.len())]);
     w.leaf("name", &name)?;
     w.leaf("emailaddress", &format!("mailto:p{id}@example.org"))?;
     if rng.gen_bool(0.7) {
@@ -144,8 +139,7 @@ mod tests {
         let xml = to_string(&AuctionConfig::sized(60_000));
         let items = vitex_core::evaluate_str(&xml, "//item[payment = 'Creditcard']/@id").unwrap();
         assert!(!items.is_empty());
-        let people =
-            vitex_core::evaluate_str(&xml, "//person[profile/interest]/name").unwrap();
+        let people = vitex_core::evaluate_str(&xml, "//person[profile/interest]/name").unwrap();
         assert!(!people.is_empty());
         let deep = vitex_core::evaluate_str(&xml, "//regions//item/description//listitem").unwrap();
         assert!(!deep.is_empty());

@@ -59,14 +59,8 @@ const ORGANISMS: &[&str] = &[
     "Drosophila melanogaster",
     "Arabidopsis thaliana",
 ];
-const CLASSIFICATIONS: &[&str] = &[
-    "oxidoreductase",
-    "transferase",
-    "hydrolase",
-    "lyase",
-    "isomerase",
-    "ligase",
-];
+const CLASSIFICATIONS: &[&str] =
+    &["oxidoreductase", "transferase", "hydrolase", "lyase", "isomerase", "ligase"];
 const AUTHOR_SURNAMES: &[&str] =
     &["Chen", "Davidson", "Zheng", "Smith", "Tanaka", "Mueller", "Garcia", "Ivanov"];
 
@@ -102,10 +96,7 @@ fn write_entry<W: Write>(
 
     w.start_element("protein")?;
     w.leaf("name", &format!("protein {}", rng.gen_range(1..100_000)))?;
-    w.leaf(
-        "classification",
-        CLASSIFICATIONS[rng.gen_range(0..CLASSIFICATIONS.len())],
-    )?;
+    w.leaf("classification", CLASSIFICATIONS[rng.gen_range(0..CLASSIFICATIONS.len())])?;
     w.end_element()?;
 
     w.start_element("organism")?;
@@ -122,12 +113,12 @@ fn write_entry<W: Write>(
             w.start_element("authors")?;
             for _ in 0..rng.gen_range(1..=4) {
                 let surname = AUTHOR_SURNAMES[rng.gen_range(0..AUTHOR_SURNAMES.len())];
-                let initial = (b'A' + rng.gen_range(0..26)) as char;
+                let initial = (b'A' + rng.gen_range(0..26u8)) as char;
                 w.leaf("author", &format!("{surname}, {initial}."))?;
             }
             w.end_element()?; // authors
             w.leaf("citation", &format!("J. Synth. Biol. {}", rng.gen_range(1..400)))?;
-            w.leaf("year", &rng.gen_range(1970..2005).to_string())?;
+            w.leaf("year", &rng.gen_range(1970..2005i32).to_string())?;
             w.end_element()?; // refinfo
             w.end_element()?; // reference
         }
@@ -138,9 +129,8 @@ fn write_entry<W: Write>(
     w.leaf("type", "complete")?;
     w.end_element()?;
 
-    let seq: String = (0..config.sequence_len)
-        .map(|_| AMINO[rng.gen_range(0..AMINO.len())] as char)
-        .collect();
+    let seq: String =
+        (0..config.sequence_len).map(|_| AMINO[rng.gen_range(0..AMINO.len())] as char).collect();
     w.leaf("sequence", &seq)?;
 
     w.end_element()?; // ProteinEntry
@@ -186,11 +176,11 @@ mod tests {
 
     #[test]
     fn paper_query_selects_reference_entries() {
-        let cfg = ProteinConfig { target_bytes: 60_000, reference_fraction: 0.5, ..Default::default() };
+        let cfg =
+            ProteinConfig { target_bytes: 60_000, reference_fraction: 0.5, ..Default::default() };
         let xml = to_string(&cfg);
         let all = vitex_core::evaluate_str(&xml, "//ProteinEntry/@id").unwrap();
-        let with_ref =
-            vitex_core::evaluate_str(&xml, "//ProteinEntry[reference]/@id").unwrap();
+        let with_ref = vitex_core::evaluate_str(&xml, "//ProteinEntry[reference]/@id").unwrap();
         assert!(!with_ref.is_empty());
         assert!(with_ref.len() < all.len(), "the predicate must be selective");
     }

@@ -142,10 +142,7 @@ impl EntityTable {
             EntityValue::Internal(t) => t.clone(),
         };
         if text.contains('<') {
-            return Err(XmlError::new(
-                XmlErrorKind::MarkupInEntity { name: name.to_owned() },
-                pos,
-            ));
+            return Err(XmlError::new(XmlErrorKind::MarkupInEntity { name: name.to_owned() }, pos));
         }
         // Scan replacement text for nested general-entity references.
         let mut rest = text.as_str();
@@ -216,8 +213,9 @@ pub fn parse_char_ref(body: &str, pos: TextPosition) -> XmlResult<char> {
         body.parse::<u32>()
             .map_err(|_| XmlError::syntax(format!("bad character reference &#{body};"), pos))?
     };
-    let ch = char::from_u32(code)
-        .ok_or_else(|| XmlError::syntax(format!("character reference &#{body}; is not a character"), pos))?;
+    let ch = char::from_u32(code).ok_or_else(|| {
+        XmlError::syntax(format!("character reference &#{body}; is not a character"), pos)
+    })?;
     if !is_xml_char(ch) {
         return Err(XmlError::new(XmlErrorKind::InvalidChar { ch }, pos));
     }

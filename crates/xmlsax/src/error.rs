@@ -145,10 +145,9 @@ impl fmt::Display for XmlError {
             }
             XmlErrorKind::InvalidName { name } => write!(f, "invalid XML name {name:?}"),
             XmlErrorKind::Syntax { msg } => write!(f, "{msg}"),
-            XmlErrorKind::MismatchedTag { expected, found } => write!(
-                f,
-                "mismatched end tag: expected </{expected}>, found </{found}>"
-            ),
+            XmlErrorKind::MismatchedTag { expected, found } => {
+                write!(f, "mismatched end tag: expected </{expected}>, found </{found}>")
+            }
             XmlErrorKind::UnbalancedEndTag { name } => {
                 write!(f, "end tag </{name}> has no matching start tag")
             }
@@ -172,10 +171,9 @@ impl fmt::Display for XmlError {
                 f,
                 "reference to external entity &{name}; (external entities are not fetched)"
             ),
-            XmlErrorKind::MarkupInEntity { name } => write!(
-                f,
-                "entity &{name}; expands to markup, which this parser does not re-parse"
-            ),
+            XmlErrorKind::MarkupInEntity { name } => {
+                write!(f, "entity &{name}; expands to markup, which this parser does not re-parse")
+            }
             XmlErrorKind::UnsupportedEncoding { encoding } => {
                 write!(f, "unsupported encoding {encoding:?} (only UTF-8 is supported)")
             }

@@ -47,10 +47,7 @@ pub struct StartElementEvent {
 impl StartElementEvent {
     /// Looks up an attribute value by exact name.
     pub fn attribute(&self, name: &str) -> Option<&str> {
-        self.attributes
-            .iter()
-            .find(|a| a.name.as_str() == name)
-            .map(|a| a.value.as_str())
+        self.attributes.iter().find(|a| a.name.as_str() == name).map(|a| a.value.as_str())
     }
 }
 

@@ -162,8 +162,8 @@ impl<R: Read> Scanner<R> {
             return Ok(Some(first as char));
         }
         // Multi-byte UTF-8.
-        let len = utf8_len(first)
-            .ok_or_else(|| XmlError::new(XmlErrorKind::InvalidUtf8, self.pos))?;
+        let len =
+            utf8_len(first).ok_or_else(|| XmlError::new(XmlErrorKind::InvalidUtf8, self.pos))?;
         if self.ensure(len)? < len {
             return Err(XmlError::new(XmlErrorKind::InvalidUtf8, self.pos));
         }
@@ -189,8 +189,8 @@ impl<R: Read> Scanner<R> {
         if first < 0x80 {
             return Ok(Some(first as char));
         }
-        let len = utf8_len(first)
-            .ok_or_else(|| XmlError::new(XmlErrorKind::InvalidUtf8, self.pos))?;
+        let len =
+            utf8_len(first).ok_or_else(|| XmlError::new(XmlErrorKind::InvalidUtf8, self.pos))?;
         if self.ensure(len)? < len {
             return Err(XmlError::new(XmlErrorKind::InvalidUtf8, self.pos));
         }

@@ -74,6 +74,11 @@ impl QName {
         &self.raw
     }
 
+    /// The raw bytes of the lexical form.
+    pub fn as_bytes(&self) -> &[u8] {
+        self.raw.as_bytes()
+    }
+
     /// The namespace prefix, if the name contains a colon.
     pub fn prefix(&self) -> Option<&str> {
         self.raw.split_once(':').map(|(p, _)| p)
@@ -105,6 +110,12 @@ impl From<String> for QName {
 
 impl Borrow<str> for QName {
     fn borrow(&self) -> &str {
+        &self.raw
+    }
+}
+
+impl AsRef<str> for QName {
+    fn as_ref(&self) -> &str {
         &self.raw
     }
 }
@@ -171,5 +182,12 @@ mod tests {
         let q = QName::new("a");
         assert_eq!(q, "a");
         assert_ne!(q, "b");
+    }
+
+    #[test]
+    fn qname_byte_and_ref_access() {
+        let q = QName::new("tag");
+        assert_eq!(q.as_bytes(), b"tag");
+        assert_eq!(<QName as AsRef<str>>::as_ref(&q), "tag");
     }
 }

@@ -65,10 +65,7 @@ pub trait Handler {
     }
 
     /// A processing instruction.
-    fn processing_instruction(
-        &mut self,
-        event: &ProcessingInstructionEvent,
-    ) -> XmlResult<Control> {
+    fn processing_instruction(&mut self, event: &ProcessingInstructionEvent) -> XmlResult<Control> {
         let _ = event;
         Ok(Control::Continue)
     }
@@ -162,8 +159,7 @@ mod tests {
     #[test]
     fn delivers_all_events_in_order() {
         let mut rec = Recorder::default();
-        let outcome =
-            parse_document(XmlReader::from_str("<a><b>hi</b></a>"), &mut rec).unwrap();
+        let outcome = parse_document(XmlReader::from_str("<a><b>hi</b></a>"), &mut rec).unwrap();
         assert_eq!(outcome, ParseOutcome::Completed);
         assert_eq!(
             rec.log,
@@ -182,8 +178,7 @@ mod tests {
     #[test]
     fn handler_can_stop_early() {
         let mut rec = Recorder { stop_on: Some("b".into()), ..Default::default() };
-        let outcome =
-            parse_document(XmlReader::from_str("<a><b/><c/></a>"), &mut rec).unwrap();
+        let outcome = parse_document(XmlReader::from_str("<a><b/><c/></a>"), &mut rec).unwrap();
         assert_eq!(outcome, ParseOutcome::Stopped);
         assert_eq!(rec.log.last().unwrap(), "start b L2");
     }

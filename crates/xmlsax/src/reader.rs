@@ -267,7 +267,10 @@ impl<R: Read> XmlReader<R> {
                     Markup::Comment => return Ok(XmlEvent::Comment(self.read_comment()?)),
                     Markup::Cdata => {
                         if self.state != DocState::InRoot {
-                            return Err(XmlError::syntax("CDATA section outside the root element", pos));
+                            return Err(XmlError::syntax(
+                                "CDATA section outside the root element",
+                                pos,
+                            ));
                         }
                         return self.read_text();
                     }
@@ -338,9 +341,7 @@ impl<R: Read> XmlReader<R> {
         let start_offset = self.scanner.offset();
         let position = self.scanner.position();
         match self.state {
-            DocState::Epilog => {
-                return Err(XmlError::new(XmlErrorKind::TrailingContent, position))
-            }
+            DocState::Epilog => return Err(XmlError::new(XmlErrorKind::TrailingContent, position)),
             DocState::Prolog => {}
             DocState::InRoot => {}
             _ => unreachable!("start tag in state {:?}", self.state),
@@ -431,9 +432,7 @@ impl<R: Read> XmlReader<R> {
         self.expect_ascii(b">")?;
         let expected = match self.open.last() {
             Some(n) => n,
-            None => {
-                return Err(XmlError::new(XmlErrorKind::UnbalancedEndTag { name }, position))
-            }
+            None => return Err(XmlError::new(XmlErrorKind::UnbalancedEndTag { name }, position)),
         };
         if expected.as_str() != name {
             return Err(XmlError::new(
@@ -713,10 +712,7 @@ impl<R: Read> XmlReader<R> {
     fn read_doctype(&mut self) -> XmlResult<XmlEvent> {
         let position = self.scanner.position();
         if self.state != DocState::Prolog {
-            return Err(XmlError::syntax(
-                "DOCTYPE must appear before the root element",
-                position,
-            ));
+            return Err(XmlError::syntax("DOCTYPE must appear before the root element", position));
         }
         if self.seen_doctype {
             return Err(XmlError::syntax("multiple DOCTYPE declarations", position));

@@ -276,8 +276,8 @@ pub fn write_to_string(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::reader::XmlReader;
     use crate::event::XmlEvent;
+    use crate::reader::XmlReader;
 
     #[test]
     fn writes_simple_document() {

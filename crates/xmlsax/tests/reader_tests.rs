@@ -284,10 +284,7 @@ fn doctype_with_system_id() {
 
 #[test]
 fn doctype_with_public_id() {
-    assert_eq!(
-        trace("<!DOCTYPE a PUBLIC \"-//X//DTD//EN\" \"a.dtd\"><a/>"),
-        "!a +a -a $"
-    );
+    assert_eq!(trace("<!DOCTYPE a PUBLIC \"-//X//DTD//EN\" \"a.dtd\"><a/>"), "!a +a -a $");
 }
 
 #[test]
@@ -361,15 +358,9 @@ fn mismatched_tags() {
 #[test]
 fn unbalanced_end_tag() {
     // After the root closed, a stray end tag has nothing to match.
-    assert!(matches!(
-        parse_err("<a></a></b>").kind(),
-        XmlErrorKind::UnbalancedEndTag { .. }
-    ));
+    assert!(matches!(parse_err("<a></a></b>").kind(), XmlErrorKind::UnbalancedEndTag { .. }));
     // Before any root element, likewise.
-    assert!(matches!(
-        parse_err("</a>").kind(),
-        XmlErrorKind::UnbalancedEndTag { .. }
-    ));
+    assert!(matches!(parse_err("</a>").kind(), XmlErrorKind::UnbalancedEndTag { .. }));
 }
 
 #[test]
@@ -612,9 +603,6 @@ fn paper_figure_1_document_parses() {
         <author>C</author></section>\
         </book>";
     let evs = events(xml);
-    let starts = evs
-        .iter()
-        .filter(|e| matches!(e, XmlEvent::StartElement(_)))
-        .count();
+    let starts = evs.iter().filter(|e| matches!(e, XmlEvent::StartElement(_))).count();
     assert_eq!(starts, 10); // book, 3×section, 3×table, cell, position, author
 }

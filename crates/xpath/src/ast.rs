@@ -188,9 +188,8 @@ mod tests {
             conditions: vec![Condition { path: vec![step("c")], comparison: None }],
         });
         let mut a = step("a");
-        a.predicates.push(Predicate {
-            conditions: vec![Condition { path: vec![b], comparison: None }],
-        });
+        a.predicates
+            .push(Predicate { conditions: vec![Condition { path: vec![b], comparison: None }] });
         let q = Query { steps: vec![a] };
         assert_eq!(q.size(), 3);
         assert_eq!(q.predicate_depth(), 2);

@@ -222,8 +222,8 @@ impl QueryGenerator {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::query_tree::QueryTree;
     use crate::parse;
+    use crate::query_tree::QueryTree;
 
     #[test]
     fn generated_queries_parse_and_round_trip() {

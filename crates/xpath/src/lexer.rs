@@ -205,10 +205,7 @@ pub fn tokenize(input: &str) -> ParseResult<Vec<Token>> {
                 let mut char_indices = rest.char_indices();
                 let (_, first) = char_indices.next().expect("non-empty rest");
                 if !vitex_name_start(first) {
-                    return Err(ParseError::new(
-                        format!("unexpected character {first:?}"),
-                        offset,
-                    ));
+                    return Err(ParseError::new(format!("unexpected character {first:?}"), offset));
                 }
                 let mut end = rest.len();
                 for (ci, c) in char_indices {
@@ -374,7 +371,13 @@ mod tests {
 
     #[test]
     fn number_with_fraction() {
-        assert_eq!(kinds("//a[b=3.25]").iter().filter(|k| matches!(k, TokenKind::Number(n) if *n == 3.25)).count(), 1);
+        assert_eq!(
+            kinds("//a[b=3.25]")
+                .iter()
+                .filter(|k| matches!(k, TokenKind::Number(n) if *n == 3.25))
+                .count(),
+            1
+        );
     }
 
     #[test]

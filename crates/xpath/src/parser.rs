@@ -99,7 +99,10 @@ impl Parser {
                     TokenKind::Name(n) => Ok(NodeTest::Attribute(n)),
                     TokenKind::Star => Ok(NodeTest::AttributeWildcard),
                     other => Err(ParseError::new(
-                        format!("expected attribute name or '*' after '@', found {}", other.describe()),
+                        format!(
+                            "expected attribute name or '*' after '@', found {}",
+                            other.describe()
+                        ),
                         self.tokens[self.pos.saturating_sub(1)].offset,
                     )),
                 }
@@ -114,7 +117,8 @@ impl Parser {
                             return Err(self.error("expected ')' after 'text('"));
                         }
                         Ok(NodeTest::Text)
-                    } else if name == "node" || name == "comment"
+                    } else if name == "node"
+                        || name == "comment"
                         || name == "processing-instruction"
                     {
                         Err(self.error(format!(
@@ -150,10 +154,9 @@ impl Parser {
                     conditions.push(self.parse_condition()?);
                 }
                 other => {
-                    return Err(self.error(format!(
-                        "expected ']' or 'and', found {}",
-                        other.describe()
-                    )))
+                    return Err(
+                        self.error(format!("expected ']' or 'and', found {}", other.describe()))
+                    )
                 }
             }
         }
@@ -162,14 +165,12 @@ impl Parser {
     fn parse_condition(&mut self) -> ParseResult<Condition> {
         // A relative path: first step has an implicit child axis.
         if matches!(self.peek(), TokenKind::Slash | TokenKind::DoubleSlash) {
-            return Err(self.error(
-                "predicates contain relative paths; they must not start with '/' or '//'",
-            ));
+            return Err(self
+                .error("predicates contain relative paths; they must not start with '/' or '//'"));
         }
         if matches!(self.peek(), TokenKind::Number(_) | TokenKind::StringLit(_)) {
-            return Err(self.error(
-                "comparisons must have the path on the left and the literal on the right",
-            ));
+            return Err(self
+                .error("comparisons must have the path on the left and the literal on the right"));
         }
         let mut path = vec![self.parse_step(Axis::Child)?];
         loop {
@@ -182,7 +183,11 @@ impl Parser {
             path.push(self.parse_step(axis)?);
         }
         let comparison = match self.peek() {
-            TokenKind::Eq | TokenKind::Ne | TokenKind::Lt | TokenKind::Le | TokenKind::Gt
+            TokenKind::Eq
+            | TokenKind::Ne
+            | TokenKind::Lt
+            | TokenKind::Le
+            | TokenKind::Gt
             | TokenKind::Ge => {
                 let op = match self.bump() {
                     TokenKind::Eq => CmpOp::Eq,

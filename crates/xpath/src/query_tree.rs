@@ -16,7 +16,7 @@
 
 use std::fmt;
 
-use crate::ast::{Axis, CmpOp, Condition, Literal, Query, NodeTest, Step};
+use crate::ast::{Axis, CmpOp, Condition, Literal, NodeTest, Query, Step};
 use crate::error::{ParseError, ParseResult};
 
 /// Index of a node in a [`QueryTree`].

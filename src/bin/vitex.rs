@@ -1,79 +1,104 @@
-//! The `vitex` command-line tool: stream an XPath query over an XML file
+//! The `vitex` command-line tool: stream XPath queries over an XML file
 //! (or stdin) and print matches as they become decidable.
 //!
 //! ```text
 //! vitex [OPTIONS] <QUERY> [FILE]
+//! vitex [OPTIONS] -e <QUERY> [-e <QUERY> ...] [FILE]
 //!
 //! Options:
+//!   -e, --query <Q>   add a query (repeatable; pub/sub mode when > 1)
 //!   --count           print only the number of matches
 //!   --values          print attribute values / text content instead of spans
-//!   --stats           print machine statistics to stderr after the run
+//!   --stats           print stream + machine statistics to stderr
 //!   --eager           use the eager (ablation) candidate propagation mode
-//!   --machine         dump the compiled TwigM machine and exit
+//!   --scan-dispatch   multi-query: poke every machine per event (no index)
+//!   --machine         dump the compiled TwigM machine(s) and exit
 //! ```
+//!
+//! With one query the tool runs the single-query [`Engine`]; with several
+//! it runs the [`MultiEngine`] — one parse, one document driver, k TwigM
+//! machines behind the interned-name dispatch index — and prefixes every
+//! line with the originating query's index.
 
 use std::fs::File;
 use std::io::{self, BufReader, Read, Write};
 use std::process::ExitCode;
 
-use vitex_core::{Engine, EvalMode, Match, MatchKind};
+use vitex_core::{DispatchMode, Engine, EvalMode, Match, MatchKind, MultiEngine};
 use vitex_xmlsax::XmlReader;
 use vitex_xpath::QueryTree;
 
 struct Options {
-    query: String,
+    queries: Vec<String>,
     file: Option<String>,
     count: bool,
     values: bool,
     stats: bool,
     eager: bool,
+    scan_dispatch: bool,
     machine: bool,
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: vitex [--count] [--values] [--stats] [--eager] [--machine] <QUERY> [FILE]\n\
+        "usage: vitex [--count] [--values] [--stats] [--eager] [--scan-dispatch] [--machine]\n\
+         \x20            <QUERY> [FILE]\n\
+         \x20      vitex [OPTIONS] -e <QUERY> [-e <QUERY> ...] [FILE]\n\
          \n\
-         Streams FILE (or stdin) through the TwigM machine and prints every\n\
-         node matching QUERY (XPath fragment: /, //, *, [], @attr, text(),\n\
-         value comparisons) as soon as it is decidable.\n\
+         Streams FILE (or stdin) through the TwigM machine(s) and prints every\n\
+         node matching each QUERY (XPath fragment: /, //, *, [], @attr, text(),\n\
+         value comparisons) as soon as it is decidable. With multiple -e\n\
+         queries the document is scanned once (pub/sub mode) and every line\n\
+         is prefixed with the query index.\n\
          \n\
          examples:\n\
          \x20 vitex '//ProteinEntry[reference]/@id' protein.xml\n\
-         \x20 vitex --count '//section[author]//table[position]//cell' book.xml"
+         \x20 vitex --count '//section[author]//table[position]//cell' book.xml\n\
+         \x20 vitex -e '//quote[symbol = \"ACME\"]/price' -e '//quote/@seq' feed.xml"
     );
     std::process::exit(2)
 }
 
 fn parse_args() -> Options {
-    let mut query = None;
+    let mut positional_query = None;
     let mut file = None;
     let mut opts = Options {
-        query: String::new(),
+        queries: Vec::new(),
         file: None,
         count: false,
         values: false,
         stats: false,
         eager: false,
+        scan_dispatch: false,
         machine: false,
     };
-    for arg in std::env::args().skip(1) {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
         match arg.as_str() {
+            "-e" | "--query" => match args.next() {
+                Some(q) => opts.queries.push(q),
+                None => usage(),
+            },
             "--count" => opts.count = true,
             "--values" => opts.values = true,
             "--stats" => opts.stats = true,
             "--eager" => opts.eager = true,
+            "--scan-dispatch" => opts.scan_dispatch = true,
             "--machine" => opts.machine = true,
             "--help" | "-h" => usage(),
-            _ if query.is_none() => query = Some(arg),
+            _ if positional_query.is_none() && opts.queries.is_empty() => {
+                positional_query = Some(arg)
+            }
             _ if file.is_none() => file = Some(arg),
             _ => usage(),
         }
     }
-    opts.query = match query {
-        Some(q) => q,
-        None => usage(),
-    };
+    if let Some(q) = positional_query {
+        opts.queries.insert(0, q);
+    }
+    if opts.queries.is_empty() {
+        usage();
+    }
     opts.file = file;
     opts
 }
@@ -81,27 +106,31 @@ fn parse_args() -> Options {
 fn describe(m: &Match, values: bool) -> String {
     if values {
         match m.kind {
-            MatchKind::Element => format!("<{}> bytes {}", m.name.as_deref().unwrap_or("?"), m.span),
-            MatchKind::Attribute | MatchKind::Text => {
-                m.value.clone().unwrap_or_default()
+            MatchKind::Element => {
+                format!("<{}> bytes {}", m.name.as_deref().unwrap_or("?"), m.span)
             }
+            MatchKind::Attribute | MatchKind::Text => m.value.clone().unwrap_or_default(),
         }
     } else {
         m.to_string()
     }
 }
 
-fn main() -> ExitCode {
-    let opts = parse_args();
-    let tree = match QueryTree::parse(&opts.query) {
-        Ok(t) => t,
-        Err(e) => {
-            eprintln!("vitex: {e}");
-            return ExitCode::from(2);
-        }
-    };
-    if opts.machine {
-        let spec = match vitex_core::MachineSpec::compile(&tree) {
+fn parse_trees(queries: &[String]) -> Result<Vec<QueryTree>, ExitCode> {
+    queries
+        .iter()
+        .map(|q| {
+            QueryTree::parse(q).map_err(|e| {
+                eprintln!("vitex: {q}: {e}");
+                ExitCode::from(2)
+            })
+        })
+        .collect()
+}
+
+fn dump_machines(trees: &[QueryTree]) -> ExitCode {
+    for tree in trees {
+        let spec = match vitex_core::MachineSpec::compile(tree) {
             Ok(s) => s,
             Err(e) => {
                 eprintln!("vitex: {e}");
@@ -127,25 +156,36 @@ fn main() -> ExitCode {
                 n.attr_result.is_some(),
             );
         }
-        return ExitCode::SUCCESS;
     }
+    ExitCode::SUCCESS
+}
+
+fn open_source(file: &Option<String>) -> Result<Box<dyn Read>, ExitCode> {
+    match file {
+        Some(path) => match File::open(path) {
+            Ok(f) => Ok(Box::new(BufReader::new(f))),
+            Err(e) => {
+                eprintln!("vitex: {path}: {e}");
+                Err(ExitCode::from(2))
+            }
+        },
+        None => Ok(Box::new(io::stdin().lock())),
+    }
+}
+
+/// Single-query mode: the classic engine, optionally in eager mode.
+fn run_single(opts: &Options, tree: &QueryTree) -> ExitCode {
     let mode = if opts.eager { EvalMode::Eager } else { EvalMode::Compact };
-    let mut engine = match Engine::with_mode(&tree, mode) {
+    let mut engine = match Engine::with_mode(tree, mode) {
         Ok(e) => e,
         Err(e) => {
             eprintln!("vitex: {e}");
             return ExitCode::from(2);
         }
     };
-    let source: Box<dyn Read> = match &opts.file {
-        Some(path) => match File::open(path) {
-            Ok(f) => Box::new(BufReader::new(f)),
-            Err(e) => {
-                eprintln!("vitex: {path}: {e}");
-                return ExitCode::from(2);
-            }
-        },
-        None => Box::new(io::stdin().lock()),
+    let source = match open_source(&opts.file) {
+        Ok(s) => s,
+        Err(code) => return code,
     };
     let stdout = io::stdout();
     let mut out = stdout.lock();
@@ -162,9 +202,10 @@ fn main() -> ExitCode {
                 println!("{count}");
             }
             if opts.stats {
-                eprintln!("elements: {}", output.elements);
-                eprintln!("events:   {}", output.events);
-                eprintln!("machine:  {}", output.stats.summary());
+                eprintln!("elements:   {}", output.elements);
+                eprintln!("text nodes: {}", output.text_nodes);
+                eprintln!("events:     {}", output.events);
+                eprintln!("machine:    {}", output.stats.summary());
             }
             if count > 0 {
                 ExitCode::SUCCESS
@@ -176,5 +217,76 @@ fn main() -> ExitCode {
             eprintln!("vitex: {e}");
             ExitCode::from(2)
         }
+    }
+}
+
+/// Pub/sub mode: all queries over one scan via the multi-engine.
+fn run_multi(opts: &Options, trees: &[QueryTree]) -> ExitCode {
+    let dispatch = if opts.scan_dispatch { DispatchMode::Scan } else { DispatchMode::Indexed };
+    let mut multi = MultiEngine::with_dispatch(dispatch);
+    for tree in trees {
+        if let Err(e) = multi.add_tree(tree) {
+            eprintln!("vitex: {e}");
+            return ExitCode::from(2);
+        }
+    }
+    let source = match open_source(&opts.file) {
+        Ok(s) => s,
+        Err(code) => return code,
+    };
+    let stdout = io::stdout();
+    let mut out = stdout.lock();
+    let mut counts = vec![0u64; trees.len()];
+    let result = multi.run(XmlReader::new(source), |qid, m| {
+        counts[qid.0] += 1;
+        if !opts.count {
+            let _ = writeln!(out, "[{}] {}", qid.0, describe(&m, opts.values));
+        }
+    });
+    match result {
+        Ok(output) => {
+            if opts.count {
+                for (i, c) in counts.iter().enumerate() {
+                    println!("[{i}] {c}");
+                }
+            }
+            if opts.stats {
+                eprintln!("elements:   {}", output.elements);
+                eprintln!("text nodes: {}", output.text_nodes);
+                eprintln!("events:     {}", output.events);
+                for (i, s) in output.stats.iter().enumerate() {
+                    eprintln!("machine[{i}]: {}", s.summary());
+                }
+            }
+            if counts.iter().any(|&c| c > 0) {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(1)
+            }
+        }
+        Err(e) => {
+            eprintln!("vitex: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let opts = parse_args();
+    let trees = match parse_trees(&opts.queries) {
+        Ok(t) => t,
+        Err(code) => return code,
+    };
+    if opts.machine {
+        return dump_machines(&trees);
+    }
+    if trees.len() == 1 {
+        run_single(&opts, &trees[0])
+    } else {
+        if opts.eager {
+            eprintln!("vitex: --eager applies to single-query runs only");
+            return ExitCode::from(2);
+        }
+        run_multi(&opts, &trees)
     }
 }

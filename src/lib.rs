@@ -48,7 +48,8 @@ pub use vitex_core::{evaluate_str as evaluate, EngineError, Match, MatchKind};
 /// The most common imports in one line.
 pub mod prelude {
     pub use vitex_core::{
-        evaluate_reader, evaluate_str, Engine, EvalMode, Match, MatchKind, TwigM,
+        evaluate_reader, evaluate_str, DispatchMode, DocumentDriver, Engine, EvalMode, EventSink,
+        Match, MatchKind, MultiEngine, TwigM,
     };
     pub use vitex_xmlsax::{XmlEvent, XmlReader};
     pub use vitex_xpath::{parse as parse_query, QueryTree};

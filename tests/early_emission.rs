@@ -4,7 +4,7 @@
 //! the memory effect, and — crucially — that early emission changes *when*
 //! results appear but never *which* results appear.
 
-use vitex::core::{evaluate_reader, Engine, TwigM, EvalMode, MachineSpec};
+use vitex::core::{evaluate_reader, Engine, EvalMode, MachineSpec, TwigM};
 use vitex::xmlsax::XmlReader;
 use vitex::xpath::QueryTree;
 
@@ -22,9 +22,7 @@ fn root_anchored_attributes_stream_immediately() {
     let tree = QueryTree::parse("/site/person/@id").unwrap();
     let mut engine = Engine::new(&tree).unwrap();
     let mut order = Vec::new();
-    let out = engine
-        .run(XmlReader::from_str(&xml), |m| order.push(m.node))
-        .unwrap();
+    let out = engine.run(XmlReader::from_str(&xml), |m| order.push(m.node)).unwrap();
     assert_eq!(out.matches.len(), n);
     // Delivered in document order (each at its person's start tag), so the
     // callback sequence is strictly increasing…

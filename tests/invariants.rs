@@ -104,10 +104,7 @@ fn machine_memory_is_flat_in_document_size() {
     };
     let small = peak(64 * 1024);
     let large = peak(512 * 1024);
-    assert!(
-        large <= small * 2,
-        "peak machine bytes must not scale with |D|: {small} → {large}"
-    );
+    assert!(large <= small * 2, "peak machine bytes must not scale with |D|: {small} → {large}");
 }
 
 #[test]

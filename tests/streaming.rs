@@ -27,9 +27,8 @@ impl std::io::Read for Chunked<'_> {
 
 #[test]
 fn chunked_input_gives_identical_results() {
-    let xml = vitex::xmlgen::protein::to_string(&vitex::xmlgen::protein::ProteinConfig::sized(
-        40_000,
-    ));
+    let xml =
+        vitex::xmlgen::protein::to_string(&vitex::xmlgen::protein::ProteinConfig::sized(40_000));
     let tree = QueryTree::parse("//ProteinEntry[reference]/@id").unwrap();
     let mut engine = Engine::new(&tree).unwrap();
     let whole = engine.run(XmlReader::from_str(&xml), |_| {}).unwrap();
@@ -57,9 +56,7 @@ fn results_arrive_before_stream_end() {
     let tree = QueryTree::parse("//msg[urgent]/@id").unwrap();
     let mut engine = Engine::new(&tree).unwrap();
     let mut fired_at: Vec<u64> = Vec::new();
-    let out = engine
-        .run(XmlReader::from_str(&xml), |m| fired_at.push(m.node))
-        .unwrap();
+    let out = engine.run(XmlReader::from_str(&xml), |m| fired_at.push(m.node)).unwrap();
     assert_eq!(out.matches.len(), 50);
     // The first match must have fired long before the document's last
     // node id was reached.
@@ -83,11 +80,9 @@ fn malformed_stream_fails_cleanly_with_partial_results() {
 
 #[test]
 fn multi_engine_single_pass() {
-    let xml = vitex::xmlgen::auction::to_string(&vitex::xmlgen::auction::AuctionConfig::sized(
-        50_000,
-    ));
-    let queries =
-        ["//item/@id", "//person[profile]/name", "//regions//item/description//listitem"];
+    let xml =
+        vitex::xmlgen::auction::to_string(&vitex::xmlgen::auction::AuctionConfig::sized(50_000));
+    let queries = ["//item/@id", "//person[profile]/name", "//regions//item/description//listitem"];
     let mut multi = MultiEngine::new();
     for q in &queries {
         multi.add_query(q).unwrap();
