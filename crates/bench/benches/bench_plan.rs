@@ -1,0 +1,49 @@
+//! Shared-plan throughput: one scan at k overlapping registered queries,
+//! with and without planner sharing (dedup + prefix trie).
+//!
+//! The workload is the overlap regime of experiment E9: queries cycled
+//! from a small pool of realistic `/site/…` auction subscriptions, so a
+//! large k is mostly literal duplicates. With sharing the engine runs
+//! `min(k, shapes)` machines and fans results out to subscriber lists;
+//! unshared it runs all k. The acceptance bar for the planner is ≥ 2×
+//! at k = 1000.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use vitex_bench::multiquery::overlapping_queries;
+use vitex_core::{DispatchMode, MultiEngine, PlanMode};
+use vitex_xmlgen::auction::{self, AuctionConfig};
+use vitex_xmlsax::XmlReader;
+
+fn build_engine(k: usize, plan: PlanMode) -> MultiEngine {
+    let mut multi = MultiEngine::with_options(DispatchMode::Indexed, plan);
+    for q in overlapping_queries(k) {
+        multi.add_query(&q).expect("valid query");
+    }
+    multi
+}
+
+fn bench_plan(c: &mut Criterion) {
+    let xml = auction::to_string(&AuctionConfig::sized(1 << 20));
+    let mut group = c.benchmark_group("shared_plan_scaling");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group.throughput(Throughput::Bytes(xml.len() as u64));
+    for k in [10usize, 100, 1000] {
+        for (label, plan) in [("shared", PlanMode::Shared), ("unshared", PlanMode::Unshared)] {
+            let mut multi = build_engine(k, plan);
+            group.bench_with_input(BenchmarkId::new(label, k), &xml, |b, xml| {
+                b.iter(|| {
+                    multi
+                        .run(XmlReader::from_str(xml), |_, _| {})
+                        .expect("well-formed workload")
+                        .elements
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_plan);
+criterion_main!(benches);

@@ -1,0 +1,95 @@
+//! E9 — shared-plan multi-query evaluation (dedup + prefix trie).
+//!
+//! Realistic subscription sets overlap heavily: the same `/site/…`
+//! auction-feed queries registered by thousands of subscribers. This
+//! experiment registers `k` standing queries drawn from a small pool of
+//! overlapping shapes (literal duplicates plus shared prefixes; see
+//! `multiquery::OVERLAP_SHAPES`) and compares the shared planner
+//! (canonicalize → dedupe into plan groups → fan out) against unshared
+//! planning (one TwigM machine per registration, the pre-planner
+//! behavior) over one scan of an XMark-style auction document.
+//!
+//! Expected shape: shared planning runs `min(k, shapes)` machines no
+//! matter how large `k` grows, so per-event work, build memory and build
+//! time all flatten while the unshared columns grow ~linearly in `k`.
+//! The acceptance bar for the planner is ≥ 2× run throughput and lower
+//! plan memory at k = 1000.
+
+use vitex_bench::multiquery::overlapping_queries;
+use vitex_bench::{fmt_bytes, fmt_dur, header, scale_arg, throughput, time_best, time_once};
+use vitex_core::{DispatchMode, MultiEngine, PlanMode};
+use vitex_xmlgen::auction::{self, AuctionConfig};
+use vitex_xmlsax::XmlReader;
+
+struct Row {
+    build: std::time::Duration,
+    plan_bytes: u64,
+    groups: usize,
+    run: std::time::Duration,
+    matches: u64,
+}
+
+fn run_once(queries: &[String], plan: PlanMode, xml: &str) -> Row {
+    let (mut multi, build) = time_once(|| {
+        let mut multi = MultiEngine::with_options(DispatchMode::Indexed, plan);
+        for q in queries {
+            multi.add_query(q).expect("valid query");
+        }
+        multi
+    });
+    let stats = multi.plan_stats();
+    let (matches, run) = time_best(3, || {
+        let out = multi.run(XmlReader::from_str(xml), |_, _| {}).expect("run");
+        out.matches.iter().map(|m| m.len() as u64).sum::<u64>()
+    });
+    Row { build, plan_bytes: stats.plan_bytes, groups: multi.group_count(), run, matches }
+}
+
+fn main() {
+    header(
+        "E9: shared-plan pub/sub (dedup + prefix trie)",
+        "k overlapping standing queries collapse to min(k, shapes) machines; \
+         per-event work, build memory and build time stop scaling with duplicates",
+    );
+    let scale = scale_arg();
+    let xml = auction::to_string(&AuctionConfig::sized(((1 << 20) as f64 * scale) as u64));
+
+    println!(
+        "{:>5} | {:>8} | {:>9} | {:>10} | {:>6} | {:>10} | {:>8} | {:>9}",
+        "k", "plan", "build", "plan mem", "groups", "run", "MB/s", "matches"
+    );
+    for k in [10usize, 100, 1000] {
+        let queries = overlapping_queries(k);
+        let shared = run_once(&queries, PlanMode::Shared, &xml);
+        let unshared = run_once(&queries, PlanMode::Unshared, &xml);
+        assert_eq!(shared.matches, unshared.matches, "plan modes must agree");
+        for (label, row) in [("shared", &shared), ("unshared", &unshared)] {
+            println!(
+                "{:>5} | {:>8} | {:>9} | {:>10} | {:>6} | {:>10} | {:>8.1} | {:>9}",
+                k,
+                label,
+                fmt_dur(row.build),
+                fmt_bytes(row.plan_bytes),
+                row.groups,
+                fmt_dur(row.run),
+                throughput(xml.len(), row.run),
+                row.matches,
+            );
+        }
+        println!(
+            "{:>5} | {:>8} | {:>8.1}x | {:>9.1}x | {:>6} | {:>9.1}x |",
+            k,
+            "ratio",
+            unshared.build.as_secs_f64() / shared.build.as_secs_f64(),
+            unshared.plan_bytes as f64 / shared.plan_bytes as f64,
+            "",
+            unshared.run.as_secs_f64() / shared.run.as_secs_f64(),
+        );
+    }
+    println!(
+        "\nshape check: shared `groups` stays at the shape-pool size while\n\
+         unshared grows with k, so the run/plan-mem ratios track the dedup\n\
+         ratio (k / shapes). The k = 1000 acceptance bar is >= 2x run\n\
+         throughput and < 1x plan memory for the shared rows."
+    );
+}

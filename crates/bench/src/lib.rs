@@ -136,6 +136,40 @@ pub mod multiquery {
     pub fn disjoint_queries(k: usize) -> Vec<String> {
         (0..k).map(|i| format!("//t{i}[w{i}]/@id")).collect()
     }
+
+    /// The distinct query shapes behind [`overlapping_queries`]: realistic
+    /// auction-feed subscriptions over the `vitex-xmlgen` XMark-style
+    /// document, sharing long `/site/…` prefixes. Two entries are
+    /// deliberately the *same* query with predicates in different order —
+    /// the planner must dedupe them through canonicalization, not string
+    /// equality.
+    pub const OVERLAP_SHAPES: &[&str] = &[
+        "/site/regions/africa/item/@id",
+        "/site/regions/asia/item/@id",
+        "/site/regions/europe/item/@id",
+        "/site/regions/africa/item/name",
+        "/site/regions/namerica/item/quantity",
+        "/site/regions//item/description/parlist/listitem",
+        "/site/people/person/@id",
+        "/site/people/person/name",
+        "/site/people/person/emailaddress",
+        "/site/people/person/profile/@income",
+        "//item[payment = 'Creditcard']/@id",
+        "//item[quantity][payment]/name",
+        "//item[payment][quantity]/name", // == previous after canonicalization
+        "//person[profile/interest]/name",
+        "//person[profile]/emailaddress",
+        "//regions//item/name",
+    ];
+
+    /// `k` standing queries for the shared-plan regime (experiment E9):
+    /// the [`OVERLAP_SHAPES`] pool cycled to length `k`, so a 1000-query
+    /// set contains ~60 literal duplicates of each shape plus heavy
+    /// `/site/…` prefix overlap across shapes. Dedup collapses it to
+    /// `min(k, distinct shapes)` machines; unshared planning runs all `k`.
+    pub fn overlapping_queries(k: usize) -> Vec<String> {
+        (0..k).map(|i| OVERLAP_SHAPES[i % OVERLAP_SHAPES.len()].to_string()).collect()
+    }
 }
 
 #[cfg(test)]

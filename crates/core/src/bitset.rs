@@ -115,6 +115,14 @@ impl DynBitSet {
         self.words[w] |= 1 << (i % 64);
     }
 
+    /// Clears bit `i` (a no-op when it is not set). Supports the
+    /// incremental unsubscribe path of the multi-query planner.
+    pub fn remove(&mut self, i: usize) {
+        if let Some(w) = self.words.get_mut(i / 64) {
+            *w &= !(1 << (i % 64));
+        }
+    }
+
     /// Tests bit `i`.
     pub fn contains(&self, i: usize) -> bool {
         self.words.get(i / 64).is_some_and(|w| w & (1 << (i % 64)) != 0)
@@ -225,6 +233,20 @@ mod tests {
         let mut got = Vec::new();
         s.for_each(|i| got.push(i));
         assert_eq!(got, [0, 3, 63, 64, 130]);
+    }
+
+    #[test]
+    fn dyn_bitset_remove() {
+        let mut s = DynBitSet::new();
+        s.insert(3);
+        s.insert(70);
+        s.remove(3);
+        s.remove(500); // out of range: no-op
+        assert!(!s.contains(3));
+        assert!(s.contains(70));
+        assert_eq!(s.count(), 1);
+        s.remove(70);
+        assert!(s.is_empty());
     }
 
     #[test]

@@ -348,6 +348,36 @@ impl MachineSpec {
             || self.text_result_parent.is_some()
     }
 
+    /// Approximate heap bytes of the compiled layout: node storage (with
+    /// inline sub-tests and name strings), both name indexes and the
+    /// auxiliary node lists. The plan layer sums this across machines to
+    /// report how much build memory query sharing saves (experiment E9).
+    pub fn approx_bytes(&self) -> u64 {
+        use std::mem::size_of;
+        let mut bytes = self.nodes.capacity() * size_of::<MachineNode>();
+        for n in &self.nodes {
+            bytes += n.name.as_ref().map_or(0, |s| s.len());
+            bytes += n.attr_preds.capacity() * size_of::<AttrTest>();
+            bytes += n.text_preds.capacity() * size_of::<TextTest>();
+            for a in n.attr_preds.iter().chain(n.attr_result.iter()) {
+                bytes += a.name.as_ref().map_or(0, |s| s.len());
+            }
+        }
+        for (name, list) in &self.by_name {
+            bytes += name.len() + size_of::<String>() + list.capacity() * size_of::<usize>();
+        }
+        for list in &self.by_symbol {
+            bytes += size_of::<Vec<usize>>() + list.capacity() * size_of::<usize>();
+        }
+        bytes += self.name_symbols.capacity() * size_of::<Symbol>();
+        bytes += (self.wildcards.capacity()
+            + self.text_watchers.capacity()
+            + self.text_accumulators.capacity())
+            * size_of::<usize>();
+        bytes += self.query.len();
+        bytes as u64
+    }
+
     /// Number of stacked machine nodes.
     pub fn len(&self) -> usize {
         self.nodes.len()

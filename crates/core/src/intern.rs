@@ -82,6 +82,16 @@ impl Interner {
     pub fn is_empty(&self) -> bool {
         self.names.is_empty()
     }
+
+    /// Approximate heap bytes held by the table (string storage plus map
+    /// and vector slots). Feeds the plan-memory accounting of the
+    /// multi-query engine (experiment E9).
+    pub fn heap_bytes(&self) -> u64 {
+        let strings: usize = self.names.iter().map(|n| n.len()).sum();
+        let slots = self.names.len()
+            * (std::mem::size_of::<Arc<str>>() * 2 + std::mem::size_of::<Symbol>());
+        (strings + slots) as u64
+    }
 }
 
 #[cfg(test)]
@@ -115,5 +125,16 @@ mod tests {
         let s = i.intern("ProteinEntry");
         assert_eq!(i.resolve(s), "ProteinEntry");
         assert!(!i.is_empty());
+    }
+
+    #[test]
+    fn heap_bytes_grows_with_content() {
+        let mut i = Interner::new();
+        assert_eq!(i.heap_bytes(), 0);
+        i.intern("a");
+        let one = i.heap_bytes();
+        assert!(one > 0);
+        i.intern("bcdefgh");
+        assert!(i.heap_bytes() > one);
     }
 }

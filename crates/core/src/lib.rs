@@ -34,6 +34,10 @@
 //! * [`multi::MultiEngine`] — publish/subscribe: many standing queries,
 //!   one scan, with an interned-name dispatch index so an event only
 //!   touches interested machines.
+//! * [`plan::QueryPlanner`] — the shared-prefix query planner behind
+//!   `MultiEngine`: canonicalizes queries, dedupes structural duplicates
+//!   into one machine with a subscriber fan-out list, and tries main-path
+//!   steps so overlapping subscriptions share plan structure.
 //! * [`driver::DocumentDriver`] — the single SAX event loop (node
 //!   numbering, counting, symbol resolution) behind both engines; custom
 //!   consumers implement [`driver::EventSink`].
@@ -60,6 +64,7 @@ pub mod error;
 pub mod intern;
 pub mod machine;
 pub mod multi;
+pub mod plan;
 pub mod predicate;
 pub mod result;
 pub mod stats;
@@ -70,6 +75,7 @@ pub use engine::{evaluate_reader, evaluate_str, Engine, EvalOutput};
 pub use error::{EngineError, EngineResult};
 pub use intern::{Interner, Symbol};
 pub use machine::TwigM;
-pub use multi::{DispatchMode, MultiEngine, MultiOutput, QueryId};
-pub use result::{Match, MatchKind};
-pub use stats::{MachineStats, StreamStats};
+pub use multi::{DispatchMode, MultiEngine, MultiOutput};
+pub use plan::{PlanGroup, PlanMode, QueryPlanner};
+pub use result::{Match, MatchKind, QueryId};
+pub use stats::{MachineStats, PlanStats, StreamStats};

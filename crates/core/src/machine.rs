@@ -185,6 +185,7 @@ fn entry_base_bytes(e: &Entry) -> u64 {
 /// [`TwigM::end_element`]); solutions come out of the `emit` callback of
 /// `end_element` as soon as they are decidable. [`crate::engine::Engine`]
 /// wires an [`vitex_xmlsax::XmlReader`] to this interface.
+#[derive(Debug)]
 pub struct TwigM {
     spec: MachineSpec,
     mode: EvalMode,
@@ -234,6 +235,17 @@ impl TwigM {
     /// Instrumentation counters.
     pub fn stats(&self) -> &MachineStats {
         &self.stats
+    }
+
+    /// Approximate resident bytes of the machine at rest: the compiled
+    /// spec plus per-node stack headroom (run-time entry/candidate bytes
+    /// are tracked live in [`MachineStats`]). The multi-query planner sums
+    /// this across plan groups to report the build-memory effect of query
+    /// sharing.
+    pub fn approx_build_bytes(&self) -> u64 {
+        let stacks: usize =
+            self.stacks.iter().map(|s| s.capacity() * std::mem::size_of::<Entry>()).sum();
+        self.spec.approx_bytes() + (stacks + self.plan.capacity() * 8) as u64
     }
 
     /// True when no entries are live (before a document and after a

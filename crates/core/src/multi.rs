@@ -1,4 +1,4 @@
-//! Multi-query evaluation: many TwigM machines over one scan.
+//! Multi-query evaluation: many standing queries, one scan, shared plan.
 //!
 //! The paper's motivating applications — stock tickers, sports feeds,
 //! personalized newspapers — are publish/subscribe systems: *many*
@@ -8,19 +8,30 @@
 //! packages that: register queries, stream a document once, receive
 //! `(query id, match)` pairs as they become decidable.
 //!
+//! ## Planning
+//!
+//! Registration goes through the [`QueryPlanner`]: structurally identical
+//! queries (after canonicalization — predicate order sorted away) are
+//! **deduplicated** into one [`PlanGroup`] running a single machine, and
+//! every emitted solution fans out to the group's subscriber list. The
+//! planner's shared-prefix step trie keeps group lookup cheap and reports
+//! how much structure the plan collapsed ([`MultiOutput::plan`]).
+//! [`PlanMode::Unshared`] (`vitex --no-plan-sharing`) restores the old
+//! one-machine-per-registration behavior bit for bit.
+//!
 //! ## Dispatch
 //!
 //! Poking every machine on every event makes the per-event cost `O(k)` —
-//! fatal at thousands of standing queries. The engine therefore builds a
-//! **dispatch index** over the shared [`Interner`]:
+//! fatal at thousands of standing queries. The engine therefore maintains
+//! a **dispatch index** over the shared [`Interner`]:
 //!
-//! * per interned element name, a [`DynBitSet`] of machines whose query
+//! * per interned element name, a [`DynBitSet`] of plan groups whose query
 //!   mentions that name;
-//! * an always-on set of machines containing a wildcard step (they must
-//!   see every element);
-//! * the list of machines that consume `characters` events at all.
+//! * an always-on set of groups containing a wildcard step (they must see
+//!   every element);
+//! * the set of groups that consume `characters` events at all.
 //!
-//! A `startElement` then touches only machines interested in that name
+//! A `startElement` then touches only groups interested in that name
 //! (plus wildcards), and the end tag replays the same set via the symbol
 //! the [`DocumentDriver`] remembered from the start tag. This is sound
 //! because a machine's stacks only ever hold entries for elements it was
@@ -28,6 +39,12 @@
 //! at its end, and text/attribute tests live inside the delivered events.
 //! [`DispatchMode::Scan`] keeps the poke-everyone path for measurement
 //! (`bench_multi` quantifies the gap).
+//!
+//! Both structures update **incrementally**: [`MultiEngine::add_query`]
+//! splices the new group into the index in place and
+//! [`MultiEngine::remove_query`] clears it back out when the last
+//! subscriber of a group leaves — no rebuild between runs, so long-lived
+//! pub/sub sessions can churn subscriptions mid-stream.
 
 use std::io::Read;
 
@@ -36,37 +53,40 @@ use vitex_xmlsax::XmlReader;
 use vitex_xpath::query_tree::QueryTree;
 
 use crate::bitset::DynBitSet;
-use crate::builder::{EvalMode, MachineSpec};
+use crate::builder::MachineSpec;
 use crate::driver::{DocumentDriver, EventSink};
 use crate::error::EngineResult;
 use crate::intern::{Interner, Symbol};
-use crate::machine::TwigM;
+use crate::plan::{PlanGroup, PlanMode, QueryPlanner};
 use crate::result::{Match, NodeId};
-use crate::stats::MachineStats;
+use crate::stats::{MachineStats, PlanStats};
 
-/// A registered query's handle.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct QueryId(pub usize);
+pub use crate::result::QueryId;
 
-/// How start/end element events are routed to machines.
+/// How start/end element events are routed to plan groups.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum DispatchMode {
-    /// Use the name → machines index; only interested machines are
-    /// touched per event. The default.
+    /// Use the name → groups index; only interested machines are touched
+    /// per event. The default.
     #[default]
     Indexed,
-    /// Poke every machine on every event (the pre-index behaviour), kept
-    /// for ablation benchmarks.
+    /// Poke every active group on every event (the pre-index behaviour),
+    /// kept for ablation benchmarks.
     Scan,
 }
 
 /// Summary of one multi-query run.
 #[derive(Debug, Clone)]
 pub struct MultiOutput {
-    /// Matches per query, in emission order (indexed by [`QueryId`]).
+    /// Matches per query, in emission order (indexed by [`QueryId`];
+    /// removed queries keep an empty slot).
     pub matches: Vec<Vec<Match>>,
-    /// Machine statistics per query.
+    /// Machine statistics per query (indexed by [`QueryId`]). Queries
+    /// deduplicated into one plan group share a machine and therefore
+    /// report identical statistics; removed queries report zeros.
     pub stats: Vec<MachineStats>,
+    /// Plan-level statistics: group/dedup/trie-sharing counters.
+    pub plan: PlanStats,
     /// Elements seen in the single scan.
     pub elements: u64,
     /// Text nodes seen in the single scan.
@@ -75,45 +95,61 @@ pub struct MultiOutput {
     pub events: u64,
 }
 
-/// The dispatch index: which machines care about which events.
+/// The dispatch index: which plan groups care about which events.
+/// Maintained incrementally as groups activate and retire.
 #[derive(Debug, Default)]
 struct DispatchIndex {
-    /// Symbol index → machines whose query mentions that name (and have
-    /// no wildcard step — wildcard machines live in `wildcard`).
+    /// Symbol index → groups whose query mentions that name (and have no
+    /// wildcard step — wildcard groups live in `wildcard`).
     by_symbol: Vec<DynBitSet>,
-    /// Machines containing a wildcard element step: they see every
-    /// element event.
+    /// Groups containing a wildcard element step: they see every element
+    /// event.
     wildcard: DynBitSet,
-    /// Machines that consume `characters` events.
-    text: Vec<usize>,
+    /// Groups that consume `characters` events.
+    text: DynBitSet,
 }
 
 impl DispatchIndex {
-    fn build(machines: &[TwigM], interner: &Interner) -> Self {
-        let mut index = DispatchIndex {
-            by_symbol: vec![DynBitSet::new(); interner.len()],
-            ..DispatchIndex::default()
-        };
-        for (qi, machine) in machines.iter().enumerate() {
-            let spec = machine.spec();
-            if spec.has_wildcard() {
-                // A wildcard machine sees every element, which subsumes
-                // its named interests.
-                index.wildcard.insert(qi);
-            } else {
-                for &sym in &spec.name_symbols {
-                    index.by_symbol[sym.index()].insert(qi);
-                }
-            }
-            if spec.needs_characters() {
-                index.text.push(qi);
+    /// Splices a newly created group into the index. `nsymbols` is the
+    /// interner's current size: compiling the group's spec may have
+    /// interned names this index has never seen.
+    fn add_group(&mut self, gid: usize, spec: &MachineSpec, nsymbols: usize) {
+        if self.by_symbol.len() < nsymbols {
+            self.by_symbol.resize(nsymbols, DynBitSet::new());
+        }
+        if spec.has_wildcard() {
+            // A wildcard group sees every element, which subsumes its
+            // named interests.
+            self.wildcard.insert(gid);
+        } else {
+            for &sym in &spec.name_symbols {
+                self.by_symbol[sym.index()].insert(gid);
             }
         }
-        index
+        if spec.needs_characters() {
+            self.text.insert(gid);
+        }
     }
 
-    /// Calls `f` for every machine interested in an element with symbol
-    /// `sym` (named machines ∪ wildcard machines).
+    /// Clears a retired group (last subscriber removed) back out of the
+    /// index — the inverse of [`DispatchIndex::add_group`].
+    fn remove_group(&mut self, gid: usize, spec: &MachineSpec) {
+        if spec.has_wildcard() {
+            self.wildcard.remove(gid);
+        } else {
+            for &sym in &spec.name_symbols {
+                if let Some(set) = self.by_symbol.get_mut(sym.index()) {
+                    set.remove(gid);
+                }
+            }
+        }
+        if spec.needs_characters() {
+            self.text.remove(gid);
+        }
+    }
+
+    /// Calls `f` for every group interested in an element with symbol
+    /// `sym` (named groups ∪ wildcard groups).
     #[inline]
     fn for_each_element_target(&self, sym: Option<Symbol>, f: impl FnMut(usize)) {
         match sym.and_then(|s| self.by_symbol.get(s.index())) {
@@ -125,31 +161,47 @@ impl DispatchIndex {
 
 /// Evaluates many queries in a single sequential scan.
 pub struct MultiEngine {
-    machines: Vec<TwigM>,
-    queries: Vec<String>,
+    planner: QueryPlanner,
+    /// Per-registration records, indexed by [`QueryId`].
+    records: Vec<QueryRecord>,
     interner: Interner,
     driver: DocumentDriver,
     mode: DispatchMode,
     index: DispatchIndex,
-    index_dirty: bool,
+}
+
+/// One registration's bookkeeping.
+struct QueryRecord {
+    /// Canonical text of the query as registered.
+    text: String,
+    /// Owning plan group; `None` once removed.
+    group: Option<usize>,
 }
 
 impl MultiEngine {
-    /// Creates an empty engine with indexed dispatch.
+    /// Creates an empty engine with indexed dispatch and plan sharing.
     pub fn new() -> Self {
-        MultiEngine::with_dispatch(DispatchMode::Indexed)
+        MultiEngine::with_options(DispatchMode::Indexed, PlanMode::Shared)
     }
 
-    /// Creates an empty engine with an explicit dispatch mode.
+    /// Creates an empty engine with an explicit dispatch mode (plan
+    /// sharing on).
     pub fn with_dispatch(mode: DispatchMode) -> Self {
+        MultiEngine::with_options(mode, PlanMode::Shared)
+    }
+
+    /// Creates an empty engine with explicit dispatch and plan modes. The
+    /// plan mode is fixed for the engine's lifetime: it decides how
+    /// registrations group, so flipping it mid-session would split or
+    /// merge machines under live subscribers.
+    pub fn with_options(mode: DispatchMode, plan: PlanMode) -> Self {
         MultiEngine {
-            machines: Vec::new(),
-            queries: Vec::new(),
+            planner: QueryPlanner::new(plan),
+            records: Vec::new(),
             interner: Interner::new(),
             driver: DocumentDriver::new(),
             mode,
             index: DispatchIndex::default(),
-            index_dirty: false,
         }
     }
 
@@ -163,57 +215,96 @@ impl MultiEngine {
         self.mode = mode;
     }
 
+    /// The plan-sharing mode fixed at construction.
+    pub fn plan_mode(&self) -> PlanMode {
+        self.planner.mode()
+    }
+
     /// Registers a query; returns its handle.
     pub fn add_query(&mut self, query: &str) -> EngineResult<QueryId> {
         let tree = QueryTree::parse(query)?;
         self.add_tree(&tree)
     }
 
-    /// Registers an already-built query tree.
+    /// Registers an already-built query tree. The dispatch index and the
+    /// plan are updated in place — no rebuild happens on the next run, so
+    /// subscriptions can be added between (or ahead of) documents at any
+    /// point in a session.
     pub fn add_tree(&mut self, tree: &QueryTree) -> EngineResult<QueryId> {
-        let spec = MachineSpec::compile_with(tree, &mut self.interner)?;
-        let machine = TwigM::from_spec(spec, EvalMode::Compact);
-        let id = QueryId(self.machines.len());
-        self.queries.push(tree.original().to_owned());
-        self.machines.push(machine);
-        self.index_dirty = true;
+        let id = QueryId(self.records.len());
+        let reg = self.planner.register(tree, id, &mut self.interner)?;
+        if reg.created {
+            let spec = self.planner.group(reg.group).machine().spec();
+            // Splice the new group in while the borrow rules allow: spec
+            // is read-only and the index is disjoint from the planner.
+            let nsymbols = self.interner.len();
+            self.index.add_group(reg.group, spec, nsymbols);
+        }
+        self.records.push(QueryRecord { text: tree.original().to_owned(), group: Some(reg.group) });
         Ok(id)
     }
 
-    /// Registered query count.
+    /// Unregisters a query. Returns `Some(true)` when it was the **last**
+    /// subscriber of its plan group (the shared machine retired with it),
+    /// `Some(false)` when other subscribers keep the group alive, and
+    /// `None` when the id is unknown or already removed. Like
+    /// registration, removal updates the plan and dispatch index in
+    /// place.
+    pub fn remove_query(&mut self, id: QueryId) -> Option<bool> {
+        let record = self.records.get_mut(id.0)?;
+        let gid = record.group.take()?;
+        let last = self.planner.unsubscribe(gid, id);
+        if last {
+            let spec = self.planner.group(gid).machine().spec();
+            self.index.remove_group(gid, spec);
+        }
+        Some(last)
+    }
+
+    /// Active subscription count (registered minus removed).
     pub fn len(&self) -> usize {
-        self.machines.len()
+        self.planner.query_count()
     }
 
-    /// Whether no queries are registered.
+    /// Whether no subscription is active.
     pub fn is_empty(&self) -> bool {
-        self.machines.is_empty()
+        self.len() == 0
     }
 
-    /// The canonical text of a registered query.
+    /// Number of plan groups actually running machines. With sharing on,
+    /// `group_count() <= len()`; the gap is the dedup win.
+    pub fn group_count(&self) -> usize {
+        self.planner.group_count()
+    }
+
+    /// The canonical text of a registered query (retained after removal).
     pub fn query_text(&self, id: QueryId) -> &str {
-        &self.queries[id.0]
+        &self.records[id.0].text
     }
 
-    /// Streams `reader` once through every registered machine. `on_match`
+    /// Plan-level statistics for the current subscription set.
+    pub fn plan_stats(&self) -> PlanStats {
+        self.planner.stats(&self.interner)
+    }
+
+    /// Streams `reader` once through every active plan group. `on_match`
     /// fires with the originating query's id the moment a solution is
-    /// decidable.
+    /// decidable; a solution of a shared machine fires once per
+    /// subscriber, in registration order.
     pub fn run<R: Read, F: FnMut(QueryId, Match)>(
         &mut self,
         reader: XmlReader<R>,
         on_match: F,
     ) -> EngineResult<MultiOutput> {
-        for m in &mut self.machines {
-            m.reset();
+        for g in self.planner.groups_mut() {
+            if g.is_active() {
+                g.machine_mut().reset();
+            }
         }
-        if self.index_dirty {
-            self.index = DispatchIndex::build(&self.machines, &self.interner);
-            self.index_dirty = false;
-        }
-        let mut matches: Vec<Vec<Match>> = self.machines.iter().map(|_| Vec::new()).collect();
+        let mut matches: Vec<Vec<Match>> = self.records.iter().map(|_| Vec::new()).collect();
         let stream = {
             let mut sink = MultiSink {
-                machines: &mut self.machines,
+                groups: self.planner.groups_mut(),
                 interner: &self.interner,
                 index: (self.mode == DispatchMode::Indexed).then_some(&self.index),
                 matches: &mut matches,
@@ -221,9 +312,18 @@ impl MultiEngine {
             };
             self.driver.run(reader, &mut sink)?
         };
+        let stats = self
+            .records
+            .iter()
+            .map(|r| match r.group {
+                Some(g) => self.planner.group(g).machine().stats().clone(),
+                None => MachineStats::default(),
+            })
+            .collect();
         Ok(MultiOutput {
             matches,
-            stats: self.machines.iter().map(|m| m.stats().clone()).collect(),
+            stats,
+            plan: self.planner.stats(&self.interner),
             elements: stream.elements,
             text_nodes: stream.text_nodes,
             events: stream.events,
@@ -238,9 +338,10 @@ impl Default for MultiEngine {
 }
 
 /// The multi-query [`EventSink`]: routes each event to the interested
-/// machines (or all of them in [`DispatchMode::Scan`]).
+/// plan groups (or all active ones in [`DispatchMode::Scan`]) and fans
+/// each group's solutions out to its subscribers.
 struct MultiSink<'a, F: FnMut(QueryId, Match)> {
-    machines: &'a mut [TwigM],
+    groups: &'a mut [PlanGroup],
     interner: &'a Interner,
     /// `Some` in indexed mode, `None` in scan mode.
     index: Option<&'a DispatchIndex>,
@@ -249,15 +350,35 @@ struct MultiSink<'a, F: FnMut(QueryId, Match)> {
 }
 
 impl<F: FnMut(QueryId, Match)> MultiSink<'_, F> {
-    /// Runs `f` on machine `qi` with a match callback wired to that
-    /// query's buffer and the user callback.
+    /// Runs `f` on group `gi`'s machine with a match callback that fans
+    /// out to the group's subscribers (buffers and the user callback).
+    /// Inactive groups are skipped: in scan mode they are still
+    /// enumerated, and in indexed mode a stale bit could briefly outlive
+    /// a retirement.
     #[inline]
-    fn with_machine(&mut self, qi: usize, f: impl FnOnce(&mut TwigM, &mut dyn FnMut(Match))) {
-        let matches = &mut self.matches[qi];
+    fn with_group(
+        &mut self,
+        gi: usize,
+        f: impl FnOnce(&mut crate::machine::TwigM, &mut dyn FnMut(Match)),
+    ) {
+        let group = &mut self.groups[gi];
+        if !group.is_active() {
+            return;
+        }
+        let (machine, subscribers) = group.machine_and_subscribers();
+        let matches = &mut *self.matches;
         let on_match = &mut self.on_match;
-        f(&mut self.machines[qi], &mut |hit| {
-            matches.push(hit.clone());
-            on_match(QueryId(qi), hit);
+        f(machine, &mut |hit| {
+            // Fan out in registration order; the last subscriber takes the
+            // hit by value so a single-subscriber group clones exactly
+            // once, as the pre-planner engine did.
+            let (&last, rest) = subscribers.split_last().expect("active group has a subscriber");
+            for &sub in rest {
+                matches[sub.0].push(hit.clone());
+                on_match(sub, hit.clone());
+            }
+            matches[last.0].push(hit.clone());
+            on_match(last, hit);
         });
     }
 }
@@ -274,8 +395,8 @@ impl<F: FnMut(QueryId, Match)> EventSink for MultiSink<'_, F> {
         node_id: NodeId,
         attr_id_base: NodeId,
     ) {
-        let touch = |this: &mut Self, qi: usize| {
-            this.with_machine(qi, |machine, emit| {
+        let touch = |this: &mut Self, gi: usize| {
+            this.with_group(gi, |machine, emit| {
                 machine.start_element_interned(
                     sym,
                     event.name.as_str(),
@@ -289,36 +410,32 @@ impl<F: FnMut(QueryId, Match)> EventSink for MultiSink<'_, F> {
             });
         };
         match self.index {
-            Some(index) => index.for_each_element_target(sym, |qi| touch(self, qi)),
-            None => (0..self.machines.len()).for_each(|qi| touch(self, qi)),
+            Some(index) => index.for_each_element_target(sym, |gi| touch(self, gi)),
+            None => (0..self.groups.len()).for_each(|gi| touch(self, gi)),
         }
     }
 
     fn characters(&mut self, event: &CharactersEvent, node_id: NodeId) {
-        let touch = |this: &mut Self, qi: usize| {
-            this.with_machine(qi, |machine, emit| {
+        let touch = |this: &mut Self, gi: usize| {
+            this.with_group(gi, |machine, emit| {
                 machine.characters(&event.text, event.level, node_id, event.span, emit);
             });
         };
         match self.index {
-            Some(index) => {
-                for i in 0..index.text.len() {
-                    touch(self, index.text[i]);
-                }
-            }
-            None => (0..self.machines.len()).for_each(|qi| touch(self, qi)),
+            Some(index) => index.text.for_each(|gi| touch(self, gi)),
+            None => (0..self.groups.len()).for_each(|gi| touch(self, gi)),
         }
     }
 
     fn end_element(&mut self, sym: Option<Symbol>, event: &EndElementEvent) {
-        let touch = |this: &mut Self, qi: usize| {
-            this.with_machine(qi, |machine, emit| {
+        let touch = |this: &mut Self, gi: usize| {
+            this.with_group(gi, |machine, emit| {
                 machine.end_element(event.name.as_str(), event.level, event.element_span, emit);
             });
         };
         match self.index {
-            Some(index) => index.for_each_element_target(sym, |qi| touch(self, qi)),
-            None => (0..self.machines.len()).for_each(|qi| touch(self, qi)),
+            Some(index) => index.for_each_element_target(sym, |gi| touch(self, gi)),
+            None => (0..self.groups.len()).for_each(|gi| touch(self, gi)),
         }
     }
 }
@@ -376,8 +493,10 @@ mod tests {
         let mut multi = MultiEngine::default();
         assert!(multi.is_empty());
         assert_eq!(multi.dispatch(), DispatchMode::Indexed);
+        assert_eq!(multi.plan_mode(), PlanMode::Shared);
         let id = multi.add_query("//a[ b ]").unwrap();
         assert_eq!(multi.len(), 1);
+        assert_eq!(multi.group_count(), 1);
         assert_eq!(multi.query_text(id), "//a[b]");
     }
 
@@ -426,13 +545,13 @@ mod tests {
     }
 
     #[test]
-    fn late_registration_rebuilds_the_index() {
+    fn late_registration_updates_the_index_in_place() {
         let mut multi = MultiEngine::new();
         let qa = multi.add_query("//a").unwrap();
         let out = multi.run(XmlReader::from_str("<a><b/></a>"), |_, _| {}).unwrap();
         assert_eq!(out.matches[qa.0].len(), 1);
         // Register a query for a new name after a run: the index must pick
-        // up both the new machine and the new symbol.
+        // up both the new group and the new symbol.
         let qb = multi.add_query("//b").unwrap();
         let out = multi.run(XmlReader::from_str("<a><b/></a>"), |_, _| {}).unwrap();
         assert_eq!(out.matches[qa.0].len(), 1);
@@ -457,6 +576,81 @@ mod tests {
         let scanned = run(DispatchMode::Scan);
         assert_eq!(indexed.stats, scanned.stats);
         assert_eq!(indexed.events, scanned.events);
+    }
+
+    #[test]
+    fn duplicate_queries_share_a_machine_and_fan_out() {
+        let mut multi = MultiEngine::new();
+        let q1 = multi.add_query("//a[b and c]").unwrap();
+        let q2 = multi.add_query("//a[c][b]").unwrap(); // same canonical form
+        let q3 = multi.add_query("//a[b]").unwrap(); // different query
+        assert_eq!(multi.len(), 3);
+        assert_eq!(multi.group_count(), 2);
+        let xml = "<r><a><b/><c/></a><a><b/></a></r>";
+        let mut streamed: Vec<(usize, u64)> = Vec::new();
+        let out = multi.run(XmlReader::from_str(xml), |q, m| streamed.push((q.0, m.node))).unwrap();
+        // Both subscribers of the shared machine see the same single match.
+        assert_eq!(out.matches[q1.0].len(), 1);
+        assert_eq!(out.matches[q1.0], out.matches[q2.0]);
+        assert_eq!(out.matches[q3.0].len(), 2);
+        // Fan-out order is registration order, interleaved per solution.
+        let shared_hits: Vec<usize> =
+            streamed.iter().filter(|(_, n)| *n == 1).map(|(q, _)| *q).collect();
+        assert_eq!(shared_hits[..2], [q1.0, q2.0]);
+        // Shared subscribers report the same machine statistics.
+        assert_eq!(out.stats[q1.0], out.stats[q2.0]);
+        assert_eq!(out.plan.queries, 3);
+        assert_eq!(out.plan.groups, 2);
+        assert_eq!(out.plan.dedup_ratio(), 1.5);
+    }
+
+    #[test]
+    fn unshared_mode_runs_one_machine_per_registration() {
+        let mut multi = MultiEngine::with_options(DispatchMode::Indexed, PlanMode::Unshared);
+        let q1 = multi.add_query("//a").unwrap();
+        let q2 = multi.add_query("//a").unwrap();
+        assert_eq!(multi.plan_mode(), PlanMode::Unshared);
+        assert_eq!(multi.group_count(), 2);
+        let out = multi.run(XmlReader::from_str("<a><a/></a>"), |_, _| {}).unwrap();
+        assert_eq!(out.matches[q1.0], out.matches[q2.0]);
+        assert_eq!(out.plan.dedup_ratio(), 1.0);
+    }
+
+    #[test]
+    fn remove_query_reports_last_subscriber_and_stops_matches() {
+        let mut multi = MultiEngine::new();
+        let q1 = multi.add_query("//a").unwrap();
+        let q2 = multi.add_query("//a").unwrap();
+        let q3 = multi.add_query("//b").unwrap();
+        assert_eq!(multi.remove_query(q1), Some(false), "q2 still subscribes");
+        assert_eq!(multi.remove_query(q1), None, "double removal");
+        assert_eq!(multi.remove_query(q2), Some(true), "last subscriber");
+        assert_eq!(multi.len(), 1);
+        assert_eq!(multi.group_count(), 1);
+        let out = multi
+            .run(XmlReader::from_str("<a><b/></a>"), |q, _| {
+                assert_eq!(q, q3, "only the surviving query fires");
+            })
+            .unwrap();
+        assert!(out.matches[q1.0].is_empty());
+        assert!(out.matches[q2.0].is_empty());
+        assert_eq!(out.matches[q3.0].len(), 1);
+        assert_eq!(out.stats[q1.0], MachineStats::default());
+        // The id space is not recycled.
+        let q4 = multi.add_query("//c").unwrap();
+        assert_eq!(q4.0, 3);
+    }
+
+    #[test]
+    fn removal_then_scan_mode_skips_retired_groups() {
+        let mut multi = MultiEngine::with_dispatch(DispatchMode::Scan);
+        let qa = multi.add_query("//a").unwrap();
+        let qb = multi.add_query("//b").unwrap();
+        assert_eq!(multi.remove_query(qa), Some(true));
+        let out = multi.run(XmlReader::from_str("<a><b/></a>"), |_, _| {}).unwrap();
+        assert!(out.matches[qa.0].is_empty());
+        assert_eq!(out.matches[qb.0].len(), 1);
+        assert_eq!(out.plan.groups, 1);
     }
 
     /// A tiny deterministic random document without depending on

@@ -1,0 +1,315 @@
+//! The multi-query **planner**: batches standing queries into a shared
+//! execution plan instead of k independent machines.
+//!
+//! The paper's pub/sub motivation (stock tickers, personalized
+//! newspapers) registers thousands of subscriptions over one stream, and
+//! realistic subscription sets overlap heavily — many are literally
+//! identical, most share long `/site/…`-style prefixes. The planner
+//! collapses that redundancy in two layers:
+//!
+//! 1. **Canonicalization + dedup** — each query is reduced to its
+//!    canonical structural form ([`vitex_xpath::QueryTree::canonical_key`]:
+//!    predicate order sorted away). Structurally equal queries join one
+//!    [`PlanGroup`] sharing a single TwigM machine; the group fans each
+//!    solution out to every subscriber id. Matching happens **once** per
+//!    distinct query shape, not once per registration.
+//! 2. **Shared-prefix trie** — main-path steps (axis + interned name
+//!    test) are inserted into a [`StepTrie`], so queries sharing prefixes
+//!    share trie nodes. The trie doubles as the grouping index (candidate
+//!    groups live at the terminal node, so registration compares canonical
+//!    keys against a handful of candidates, not against every group) and
+//!    as the measurement substrate for [`PlanStats`] (shared-node counts,
+//!    dedup ratio).
+//!
+//! [`PlanMode::Unshared`] (`vitex --no-plan-sharing`) disables layer 1:
+//! every registration gets a private group, reproducing the historical
+//! one-machine-per-query behavior bit for bit. The trie is still
+//! maintained so the two modes report comparable plan statistics.
+
+pub mod group;
+pub mod trie;
+
+pub use group::PlanGroup;
+pub use trie::{StepKey, StepTrie};
+
+use vitex_xpath::query_tree::{NodeKind, QueryTree};
+
+use crate::builder::{BuildError, EvalMode, MachineSpec};
+use crate::intern::Interner;
+use crate::machine::TwigM;
+use crate::result::QueryId;
+use crate::stats::PlanStats;
+
+/// Whether structurally equal queries share one machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PlanMode {
+    /// Canonicalize, dedupe and fan out — the default.
+    #[default]
+    Shared,
+    /// One private machine per registration (the pre-planner behavior,
+    /// kept as an escape hatch and ablation baseline).
+    Unshared,
+}
+
+/// The outcome of registering one query with the planner.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Registration {
+    /// Index of the plan group now serving the query.
+    pub group: usize,
+    /// Whether the group (and its machine) was created by this
+    /// registration — `false` means the query joined an existing machine.
+    pub created: bool,
+}
+
+/// Plans standing queries into deduplicated, prefix-shared groups.
+#[derive(Debug)]
+pub struct QueryPlanner {
+    mode: PlanMode,
+    trie: StepTrie,
+    /// All groups ever created, dense indices. Inactive groups (every
+    /// subscriber removed) keep their slot so group indices stay stable
+    /// for the engine's dispatch bitsets.
+    groups: Vec<PlanGroup>,
+    active_groups: usize,
+    active_queries: usize,
+}
+
+impl QueryPlanner {
+    /// An empty planner.
+    pub fn new(mode: PlanMode) -> Self {
+        QueryPlanner {
+            mode,
+            trie: StepTrie::new(),
+            groups: Vec::new(),
+            active_groups: 0,
+            active_queries: 0,
+        }
+    }
+
+    /// The sharing mode.
+    pub fn mode(&self) -> PlanMode {
+        self.mode
+    }
+
+    /// Registers `tree` for subscriber `id`: joins an existing group when
+    /// sharing finds a structural duplicate, otherwise compiles a new
+    /// machine (interning its nametests in `interner`).
+    pub fn register(
+        &mut self,
+        tree: &QueryTree,
+        id: QueryId,
+        interner: &mut Interner,
+    ) -> Result<Registration, BuildError> {
+        let steps = self.main_path_steps(tree, interner);
+        let terminal = self.trie.insert_path(&steps);
+        let canonical = tree.canonical_key();
+        let hash = QueryTree::hash_canonical(&canonical);
+        if self.mode == PlanMode::Shared {
+            let existing = self.trie.terminals(terminal).iter().copied().find(|&g| {
+                let group = &self.groups[g];
+                group.is_active()
+                    && group.stable_hash() == hash
+                    && group.canonical_key() == canonical
+            });
+            if let Some(g) = existing {
+                self.groups[g].subscribe(id);
+                self.active_queries += 1;
+                return Ok(Registration { group: g, created: false });
+            }
+        }
+        let spec = MachineSpec::compile_with(tree, interner)?;
+        let machine = TwigM::from_spec(spec, EvalMode::Compact);
+        let gid = self.groups.len();
+        self.groups.push(PlanGroup::new(machine, canonical, hash, terminal, id));
+        self.trie.add_group(terminal, gid);
+        self.active_groups += 1;
+        self.active_queries += 1;
+        Ok(Registration { group: gid, created: true })
+    }
+
+    /// Removes subscriber `id` from group `gid`; returns whether it was
+    /// the group's **last** subscriber (the group is now inactive and the
+    /// engine must stop dispatching to it). An id that is not subscribed
+    /// to `gid` changes nothing and returns `false`.
+    pub fn unsubscribe(&mut self, gid: usize, id: QueryId) -> bool {
+        let Some(last) = self.groups[gid].unsubscribe(id) else {
+            return false;
+        };
+        self.active_queries -= 1;
+        if last {
+            self.active_groups -= 1;
+            self.trie.remove_group(self.groups[gid].trie_node(), gid);
+        }
+        last
+    }
+
+    /// All groups ever created (inactive slots included), dense indices.
+    pub fn groups(&self) -> &[PlanGroup] {
+        &self.groups
+    }
+
+    /// Mutable group slice for the engine's event loop.
+    pub(crate) fn groups_mut(&mut self) -> &mut [PlanGroup] {
+        &mut self.groups
+    }
+
+    /// One group by index.
+    pub fn group(&self, gid: usize) -> &PlanGroup {
+        &self.groups[gid]
+    }
+
+    /// Active subscription count.
+    pub fn query_count(&self) -> usize {
+        self.active_queries
+    }
+
+    /// Active group count (machines actually running).
+    pub fn group_count(&self) -> usize {
+        self.active_groups
+    }
+
+    /// Plan-level statistics. `interner` contributes its table bytes: the
+    /// symbol table is part of the shared plan's resident structure.
+    pub fn stats(&self, interner: &Interner) -> PlanStats {
+        let active = self.groups.iter().filter(|g| g.is_active());
+        let (mut machine_nodes, mut plan_bytes) = (0u64, 0u64);
+        for g in active {
+            machine_nodes += g.machine().spec().len() as u64;
+            plan_bytes += g.approx_bytes();
+        }
+        PlanStats {
+            queries: self.active_queries as u64,
+            groups: self.active_groups as u64,
+            machine_nodes,
+            trie_nodes: self.trie.len() as u64,
+            shared_trie_nodes: self.trie.shared_nodes() as u64,
+            plan_bytes: plan_bytes + self.trie.approx_bytes() + interner.heap_bytes(),
+        }
+    }
+
+    /// The trie keys of `tree`'s main path: element steps only (attribute
+    /// and `text()` result steps fold into their parent machine node and
+    /// are disambiguated by the canonical key at the terminal).
+    fn main_path_steps(&self, tree: &QueryTree, interner: &mut Interner) -> Vec<StepKey> {
+        tree.main_path()
+            .iter()
+            .filter_map(|&id| {
+                let node = tree.node(id);
+                match &node.kind {
+                    NodeKind::Element { name } => Some(StepKey {
+                        axis: node.axis,
+                        name: name.as_deref().map(|n| interner.intern(n)),
+                    }),
+                    NodeKind::Attribute { .. } | NodeKind::Text => None,
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn register(
+        planner: &mut QueryPlanner,
+        interner: &mut Interner,
+        q: &str,
+        id: usize,
+    ) -> Registration {
+        let tree = QueryTree::parse(q).unwrap();
+        planner.register(&tree, QueryId(id), interner).unwrap()
+    }
+
+    #[test]
+    fn identical_queries_share_one_machine() {
+        let mut p = QueryPlanner::new(PlanMode::Shared);
+        let mut i = Interner::new();
+        let a = register(&mut p, &mut i, "//a[b and c]/d", 0);
+        let b = register(&mut p, &mut i, "//a[c][ b ]/d", 1); // same canonical form
+        assert!(a.created);
+        assert!(!b.created);
+        assert_eq!(a.group, b.group);
+        assert_eq!(p.group_count(), 1);
+        assert_eq!(p.query_count(), 2);
+        assert_eq!(p.group(a.group).subscribers(), &[QueryId(0), QueryId(1)]);
+    }
+
+    #[test]
+    fn distinct_queries_get_distinct_groups() {
+        let mut p = QueryPlanner::new(PlanMode::Shared);
+        let mut i = Interner::new();
+        let a = register(&mut p, &mut i, "//a/b", 0);
+        let b = register(&mut p, &mut i, "//a/c", 1);
+        let c = register(&mut p, &mut i, "//a//b", 2);
+        assert!(a.created && b.created && c.created);
+        assert_eq!(p.group_count(), 3);
+        // //a/b/@id shares the full element path with //a/b but is a
+        // different query: same terminal, different group.
+        let d = register(&mut p, &mut i, "//a/b/@id", 3);
+        assert!(d.created);
+        assert_ne!(d.group, a.group);
+        assert_eq!(p.group(d.group).trie_node(), p.group(a.group).trie_node());
+    }
+
+    #[test]
+    fn unshared_mode_never_merges() {
+        let mut p = QueryPlanner::new(PlanMode::Unshared);
+        let mut i = Interner::new();
+        let a = register(&mut p, &mut i, "//a", 0);
+        let b = register(&mut p, &mut i, "//a", 1);
+        assert!(a.created && b.created);
+        assert_ne!(a.group, b.group);
+        assert_eq!(p.group_count(), 2);
+        assert_eq!(p.stats(&i).dedup_ratio(), 1.0);
+    }
+
+    #[test]
+    fn unsubscribe_retires_groups() {
+        let mut p = QueryPlanner::new(PlanMode::Shared);
+        let mut i = Interner::new();
+        let a = register(&mut p, &mut i, "//a", 0);
+        register(&mut p, &mut i, "//a", 1);
+        assert!(!p.unsubscribe(a.group, QueryId(0)), "one subscriber left");
+        assert!(p.unsubscribe(a.group, QueryId(1)), "group now inactive");
+        assert_eq!(p.group_count(), 0);
+        assert_eq!(p.query_count(), 0);
+        // A fresh registration of the same shape starts a new group.
+        let c = register(&mut p, &mut i, "//a", 2);
+        assert!(c.created);
+        assert_ne!(c.group, a.group);
+    }
+
+    #[test]
+    fn unsubscribing_an_unknown_id_leaves_counters_intact() {
+        let mut p = QueryPlanner::new(PlanMode::Shared);
+        let mut i = Interner::new();
+        let a = register(&mut p, &mut i, "//a", 0);
+        assert!(!p.unsubscribe(a.group, QueryId(42)), "not a subscriber");
+        assert_eq!(p.query_count(), 1);
+        assert_eq!(p.group_count(), 1);
+        assert!(p.unsubscribe(a.group, QueryId(0)));
+        assert!(!p.unsubscribe(a.group, QueryId(0)), "already removed");
+        assert_eq!(p.query_count(), 0);
+        assert_eq!(p.group_count(), 0);
+    }
+
+    #[test]
+    fn stats_report_sharing() {
+        let mut p = QueryPlanner::new(PlanMode::Shared);
+        let mut i = Interner::new();
+        register(&mut p, &mut i, "/site/people/person", 0);
+        register(&mut p, &mut i, "/site/people/person", 1); // duplicate
+        register(&mut p, &mut i, "/site/regions/africa", 2);
+        let s = p.stats(&i);
+        assert_eq!(s.queries, 3);
+        assert_eq!(s.groups, 2);
+        assert_eq!(s.dedup_ratio(), 1.5);
+        // site, people, person, regions, africa = 5 trie nodes; only
+        // /site carries both groups.
+        assert_eq!(s.trie_nodes, 5);
+        assert_eq!(s.shared_trie_nodes, 1);
+        assert!(s.plan_bytes > 0);
+        assert!(s.machine_nodes >= 2);
+    }
+}

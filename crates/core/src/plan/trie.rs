@@ -1,0 +1,227 @@
+//! The shared-prefix **step trie**: one node per distinct location-step
+//! prefix across every registered query.
+//!
+//! Thousands of realistic standing queries overlap heavily — `/site/…`
+//! subscriptions in an auction feed, `//ProteinEntry/…` in the protein
+//! stream. The trie materializes that overlap: a query's main path
+//! descends edge by edge, each edge labeled by a [`StepKey`] (axis +
+//! interned name test), so queries sharing a `/a/b//c…` prefix share trie
+//! nodes. Terminal nodes carry the plan groups whose main path ends
+//! there, which makes the trie the planner's **grouping index**: an
+//! incoming query walks symbols (integer comparisons, no hashing of the
+//! whole query) and only then compares canonical keys against the few
+//! groups at its terminal.
+
+use vitex_xpath::Axis;
+
+use crate::intern::Symbol;
+
+/// The label of a trie edge: one location step of a query's main path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StepKey {
+    /// Axis of the step.
+    pub axis: Axis,
+    /// Interned name test; `None` is the wildcard `*`.
+    pub name: Option<Symbol>,
+}
+
+#[derive(Debug)]
+struct TrieNode {
+    /// Edge label from the parent (meaningless for the root).
+    key: StepKey,
+    /// Parent node; `None` for the root.
+    parent: Option<usize>,
+    /// Child node indices (small fan-out: linear scan beats hashing).
+    children: Vec<usize>,
+    /// Plan groups whose main path ends exactly here.
+    terminals: Vec<usize>,
+    /// Active plan groups whose main path passes through this node
+    /// (including those ending here).
+    routes: u32,
+}
+
+/// A trie over location-step paths, nodes addressed by dense indices.
+#[derive(Debug)]
+pub struct StepTrie {
+    /// `nodes[0]` is the root (no incoming edge).
+    nodes: Vec<TrieNode>,
+}
+
+impl StepTrie {
+    /// An empty trie (root only).
+    pub fn new() -> Self {
+        StepTrie {
+            nodes: vec![TrieNode {
+                key: StepKey { axis: Axis::Child, name: None },
+                parent: None,
+                children: Vec::new(),
+                terminals: Vec::new(),
+                routes: 0,
+            }],
+        }
+    }
+
+    /// Descends `steps` from the root, creating missing nodes, and returns
+    /// the terminal node's index. Does **not** change route counts — the
+    /// planner marks a route only when a path gains a distinct plan group.
+    pub fn insert_path(&mut self, steps: &[StepKey]) -> usize {
+        let mut cur = 0usize;
+        for &step in steps {
+            cur = match self.nodes[cur].children.iter().find(|&&c| self.nodes[c].key == step) {
+                Some(&c) => c,
+                None => {
+                    let id = self.nodes.len();
+                    self.nodes.push(TrieNode {
+                        key: step,
+                        parent: Some(cur),
+                        children: Vec::new(),
+                        terminals: Vec::new(),
+                        routes: 0,
+                    });
+                    self.nodes[cur].children.push(id);
+                    id
+                }
+            };
+        }
+        cur
+    }
+
+    /// The plan groups terminating at `node`.
+    pub fn terminals(&self, node: usize) -> &[usize] {
+        &self.nodes[node].terminals
+    }
+
+    /// Records `group` as terminating at `node` and increments route
+    /// counts from `node` up to the root.
+    pub fn add_group(&mut self, node: usize, group: usize) {
+        self.nodes[node].terminals.push(group);
+        let mut cur = Some(node);
+        while let Some(i) = cur {
+            self.nodes[i].routes += 1;
+            cur = self.nodes[i].parent;
+        }
+    }
+
+    /// Unrecords `group` from `node` (the group went inactive) and
+    /// decrements route counts up to the root. Trie nodes are never
+    /// deleted; an empty suffix simply stops counting as shared.
+    pub fn remove_group(&mut self, node: usize, group: usize) {
+        let terminals = &mut self.nodes[node].terminals;
+        if let Some(pos) = terminals.iter().position(|&g| g == group) {
+            terminals.swap_remove(pos);
+            let mut cur = Some(node);
+            while let Some(i) = cur {
+                debug_assert!(self.nodes[i].routes > 0, "route underflow");
+                self.nodes[i].routes -= 1;
+                cur = self.nodes[i].parent;
+            }
+        }
+    }
+
+    /// Number of step nodes (the root does not count: it is not a step).
+    pub fn len(&self) -> usize {
+        self.nodes.len() - 1
+    }
+
+    /// Whether no step has been inserted.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.len() == 1
+    }
+
+    /// Step nodes on the main path of **more than one** active plan group
+    /// — the prefix structure the trie shares instead of duplicating.
+    pub fn shared_nodes(&self) -> usize {
+        self.nodes.iter().skip(1).filter(|n| n.routes >= 2).count()
+    }
+
+    /// Approximate heap bytes of the trie.
+    pub fn approx_bytes(&self) -> u64 {
+        use std::mem::size_of;
+        let mut bytes = self.nodes.capacity() * size_of::<TrieNode>();
+        for n in &self.nodes {
+            bytes += (n.children.capacity() + n.terminals.capacity()) * size_of::<usize>();
+        }
+        bytes as u64
+    }
+}
+
+impl Default for StepTrie {
+    fn default() -> Self {
+        StepTrie::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::intern::Interner;
+
+    fn key(interner: &mut Interner, axis: Axis, name: Option<&str>) -> StepKey {
+        StepKey { axis, name: name.map(|n| interner.intern(n)) }
+    }
+
+    #[test]
+    fn shared_prefixes_share_nodes() {
+        let mut i = Interner::new();
+        let mut t = StepTrie::new();
+        // /a/b and /a/c share the /a node: 3 nodes total, not 4.
+        let ab = [key(&mut i, Axis::Child, Some("a")), key(&mut i, Axis::Child, Some("b"))];
+        let ac = [key(&mut i, Axis::Child, Some("a")), key(&mut i, Axis::Child, Some("c"))];
+        let n_ab = t.insert_path(&ab);
+        let n_ac = t.insert_path(&ac);
+        assert_ne!(n_ab, n_ac);
+        assert_eq!(t.len(), 3);
+        // Re-inserting an existing path allocates nothing.
+        assert_eq!(t.insert_path(&ab), n_ab);
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn axis_distinguishes_edges() {
+        let mut i = Interner::new();
+        let mut t = StepTrie::new();
+        let child = [key(&mut i, Axis::Child, Some("a"))];
+        let desc = [key(&mut i, Axis::Descendant, Some("a"))];
+        assert_ne!(t.insert_path(&child), t.insert_path(&desc));
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn wildcard_is_its_own_edge() {
+        let mut i = Interner::new();
+        let mut t = StepTrie::new();
+        let named = [key(&mut i, Axis::Descendant, Some("a"))];
+        let wild = [key(&mut i, Axis::Descendant, None)];
+        assert_ne!(t.insert_path(&named), t.insert_path(&wild));
+    }
+
+    #[test]
+    fn routes_track_active_groups() {
+        let mut i = Interner::new();
+        let mut t = StepTrie::new();
+        let ab = [key(&mut i, Axis::Child, Some("a")), key(&mut i, Axis::Child, Some("b"))];
+        let ac = [key(&mut i, Axis::Child, Some("a")), key(&mut i, Axis::Child, Some("c"))];
+        let n_ab = t.insert_path(&ab);
+        let n_ac = t.insert_path(&ac);
+        t.add_group(n_ab, 0);
+        assert_eq!(t.shared_nodes(), 0);
+        t.add_group(n_ac, 1);
+        // /a now routes two groups; the b/c leaves route one each.
+        assert_eq!(t.shared_nodes(), 1);
+        assert_eq!(t.terminals(n_ab), &[0]);
+        t.remove_group(n_ab, 0);
+        assert_eq!(t.shared_nodes(), 0);
+        assert!(t.terminals(n_ab).is_empty());
+        // Removing an unknown group is a no-op.
+        t.remove_group(n_ab, 99);
+        assert_eq!(t.shared_nodes(), 0);
+    }
+
+    #[test]
+    fn empty_path_terminates_at_root() {
+        let mut t = StepTrie::new();
+        assert_eq!(t.insert_path(&[]), 0);
+        assert!(t.is_empty());
+        assert!(t.approx_bytes() > 0);
+    }
+}

@@ -11,6 +11,16 @@ use vitex_xmlsax::pos::ByteSpan;
 /// serializations.)
 pub type NodeId = u64;
 
+/// A registered standing query's handle in the multi-query engine.
+///
+/// Ids are dense registration indices and stay valid for the engine's
+/// lifetime — [`crate::multi::MultiEngine::remove_query`] retires an id
+/// without renumbering the rest. Lives here (with [`NodeId`]) rather than
+/// in `multi` because the plan layer attaches subscriber lists to shared
+/// machines without otherwise depending on the engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct QueryId(pub usize);
+
 /// What kind of document node a match binds.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum MatchKind {

@@ -22,6 +22,58 @@ pub struct StreamStats {
     pub events: u64,
 }
 
+/// Plan-level counters reported by the multi-query planner
+/// ([`crate::plan::QueryPlanner`]): how much standing-query structure the
+/// shared-prefix plan collapsed. Exposed per run via
+/// [`crate::multi::MultiOutput::plan`].
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PlanStats {
+    /// Active subscriptions (registered queries minus removed ones).
+    pub queries: u64,
+    /// Active plan groups — the number of TwigM machines actually running.
+    /// Equal to `queries` when plan sharing is off or no query duplicates
+    /// another.
+    pub groups: u64,
+    /// Total stacked machine nodes across active group machines.
+    pub machine_nodes: u64,
+    /// Nodes in the shared step trie (one per distinct location-step
+    /// prefix across all registered queries).
+    pub trie_nodes: u64,
+    /// Trie nodes on the main path of more than one plan group — the
+    /// prefix structure the trie deduplicates.
+    pub shared_trie_nodes: u64,
+    /// Approximate bytes of compiled plan structure (machine specs, stacks
+    /// at rest, trie, subscriber lists).
+    pub plan_bytes: u64,
+}
+
+impl PlanStats {
+    /// Queries per machine: 1.0 means no sharing, k means every machine
+    /// serves k subscribers on average.
+    pub fn dedup_ratio(&self) -> f64 {
+        if self.groups == 0 {
+            1.0
+        } else {
+            self.queries as f64 / self.groups as f64
+        }
+    }
+
+    /// Human-readable one-line summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "queries={} groups={} dedup={:.2}x machine_nodes={} trie_nodes={} \
+             shared_trie_nodes={} plan_bytes={}",
+            self.queries,
+            self.groups,
+            self.dedup_ratio(),
+            self.machine_nodes,
+            self.trie_nodes,
+            self.shared_trie_nodes,
+            self.plan_bytes,
+        )
+    }
+}
+
 /// Counters and gauges maintained by the TwigM machine.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct MachineStats {
@@ -179,6 +231,16 @@ mod tests {
         assert_eq!(s.emitted, 1);
         assert_eq!(s.candidates_discarded, 1);
         assert_eq!(s.live_bytes, 0);
+    }
+
+    #[test]
+    fn plan_stats_dedup_ratio() {
+        let empty = PlanStats::default();
+        assert_eq!(empty.dedup_ratio(), 1.0);
+        let p = PlanStats { queries: 10, groups: 4, ..PlanStats::default() };
+        assert_eq!(p.dedup_ratio(), 2.5);
+        assert!(p.summary().contains("dedup=2.50x"));
+        assert!(p.summary().contains("groups=4"));
     }
 
     #[test]

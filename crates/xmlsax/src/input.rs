@@ -204,34 +204,45 @@ impl<R: Read> Scanner<R> {
     /// them to `out`. Stops at the first byte failing `pred`, at any
     /// non-ASCII byte, at `\r` (so normalization can kick in), or at end of
     /// stream. Returns how many bytes were consumed.
+    ///
+    /// Prefer [`Scanner::consume_class_run`] on hot paths: a prebuilt
+    /// [`ByteClass`] replaces the per-byte predicate call with a table
+    /// lookup and the run is accounted in bulk.
     pub fn consume_ascii_run(
         &mut self,
         pred: impl Fn(u8) -> bool,
         out: &mut String,
     ) -> XmlResult<usize> {
+        let mut table = [false; 256];
+        for (b, slot) in table.iter_mut().enumerate().take(0x80) {
+            *slot = b as u8 != b'\r' && pred(b as u8);
+        }
+        self.consume_class_run(&ByteClass(table), out)
+    }
+
+    /// The memchr-style fast path: consumes the longest prefix of bytes
+    /// whose [`ByteClass`] entry is set, appending it to `out` in one
+    /// `push_str` and advancing the position **in bulk** (one newline
+    /// count per run instead of a branch per byte). Classes never include
+    /// `\r` (normalization) or non-ASCII bytes (UTF-8 decoding), so the
+    /// char-wise slow path keeps handling those. Returns how many bytes
+    /// were consumed.
+    pub fn consume_class_run(&mut self, class: &ByteClass, out: &mut String) -> XmlResult<usize> {
         let mut total = 0;
         loop {
             if self.buffered() == 0 && self.ensure(1)? == 0 {
                 break;
             }
             let window = &self.buf[self.start..self.end];
-            let mut n = 0;
-            for &b in window {
-                if b >= 0x80 || b == b'\r' || !pred(b) {
-                    break;
-                }
-                n += 1;
-            }
-            if n == 0 {
-                break;
-            }
+            let n = match window.iter().position(|&b| !class.contains(b)) {
+                Some(0) => break,
+                Some(stop) => stop,
+                None => window.len(),
+            };
             let run = &self.buf[self.start..self.start + n];
-            // Run is ASCII sans '\r'; safe to push as str.
+            // The class is ASCII-only sans '\r'; safe to push as str.
             out.push_str(std::str::from_utf8(run).expect("ascii run"));
-            // Position: count newlines for line tracking.
-            for &b in &self.buf[self.start..self.start + n] {
-                self.pos.advance(b as char, 1);
-            }
+            self.pos.advance_ascii_run(run);
             self.start += n;
             total += n;
             if n < window.len() {
@@ -239,6 +250,37 @@ impl<R: Read> Scanner<R> {
             }
         }
         Ok(total)
+    }
+}
+
+/// A 256-entry byte-membership table driving
+/// [`Scanner::consume_class_run`]: the scanning loop is a table lookup per
+/// byte instead of a predicate call, and tables are built once (`const`)
+/// per byte class rather than once per run.
+///
+/// Construction masks out `\r` and non-ASCII bytes unconditionally — runs
+/// must stop there so line-ending normalization and UTF-8 decoding stay in
+/// the char-wise slow path.
+#[derive(Debug, Clone)]
+pub struct ByteClass([bool; 256]);
+
+impl ByteClass {
+    /// Builds a class from a membership table (entries for `\r` and bytes
+    /// `>= 0x80` are ignored and forced to `false`).
+    pub const fn new(mut table: [bool; 256]) -> Self {
+        table[b'\r' as usize] = false;
+        let mut b = 0x80;
+        while b < 256 {
+            table[b] = false;
+            b += 1;
+        }
+        ByteClass(table)
+    }
+
+    /// Whether byte `b` belongs to the class.
+    #[inline(always)]
+    pub fn contains(&self, b: u8) -> bool {
+        self.0[b as usize]
     }
 }
 
@@ -351,6 +393,48 @@ mod tests {
         sc.consume_ascii_run(|_| true, &mut out).unwrap();
         assert_eq!(out, ""); // é is non-ASCII
         assert_eq!(sc.next_char().unwrap(), Some('é'));
+    }
+
+    #[test]
+    fn byte_class_masks_cr_and_non_ascii() {
+        let class = ByteClass::new([true; 256]);
+        assert!(class.contains(b'a') && class.contains(b'\n') && class.contains(0x7F));
+        assert!(!class.contains(b'\r'));
+        assert!(!class.contains(0x80) && !class.contains(0xFF));
+    }
+
+    #[test]
+    fn class_run_accounts_position_in_bulk() {
+        static ALL: ByteClass = ByteClass::new([true; 256]);
+        let mut sc = scan("ab\ncd\né");
+        let mut out = String::new();
+        let n = sc.consume_class_run(&ALL, &mut out).unwrap();
+        assert_eq!(n, 6);
+        assert_eq!(out, "ab\ncd\n");
+        assert_eq!(sc.position().line, 3);
+        assert_eq!(sc.position().column, 1);
+        assert_eq!(sc.offset(), 6);
+        assert_eq!(sc.next_char().unwrap(), Some('é'));
+    }
+
+    #[test]
+    fn class_run_spans_refills() {
+        static ALPHA: ByteClass = ByteClass::new({
+            let mut t = [false; 256];
+            let mut b = 0usize;
+            while b < 0x80 {
+                t[b] = (b as u8).is_ascii_alphabetic();
+                b += 1;
+            }
+            t
+        });
+        let text = format!("{}1rest", "xyz".repeat(40));
+        let mut sc = Scanner::with_capacity(Cursor::new(text.into_bytes()), 16);
+        let mut out = String::new();
+        let n = sc.consume_class_run(&ALPHA, &mut out).unwrap();
+        assert_eq!(n, 120);
+        assert_eq!(out, "xyz".repeat(40));
+        assert_eq!(sc.peek_byte().unwrap(), Some(b'1'));
     }
 
     #[test]

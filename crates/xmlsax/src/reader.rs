@@ -17,7 +17,7 @@ use crate::event::{
     Attribute, CharactersEvent, EndElementEvent, ProcessingInstructionEvent, StartElementEvent,
     XmlEvent,
 };
-use crate::input::Scanner;
+use crate::input::{ByteClass, Scanner};
 use crate::name::{self, QName};
 use crate::pos::{ByteSpan, TextPosition};
 
@@ -475,20 +475,9 @@ impl<R: Read> XmlReader<R> {
         // exempt, as the spec requires).
         let mut raw_tail: [char; 2] = ['\0', '\0'];
         loop {
-            // Fast ASCII path: anything except markup/reference starters,
-            // carriage returns (normalization), control chars (validation),
-            // and ']'/'>' (so the ']]>' check always sees them char-wise).
+            // Fast ASCII path via the prebuilt byte class (see TEXT_RUN).
             let before = text.len();
-            self.scanner.consume_ascii_run(
-                |b| {
-                    b != b'<'
-                        && b != b'&'
-                        && b != b']'
-                        && b != b'>'
-                        && (b >= 0x20 || b == b'\t' || b == b'\n')
-                },
-                &mut text,
-            )?;
+            self.scanner.consume_class_run(&TEXT_RUN, &mut text)?;
             if text.len() > before {
                 let tail_chars: Vec<char> = text[before..].chars().rev().take(2).collect();
                 raw_tail = match tail_chars.as_slice() {
@@ -884,7 +873,7 @@ impl<R: Read> XmlReader<R> {
         let pos = self.scanner.position();
         let mut out = String::new();
         // Fast ASCII path.
-        self.scanner.consume_ascii_run(is_ascii_name_byte, &mut out)?;
+        self.scanner.consume_class_run(&NAME_RUN, &mut out)?;
         // Slow path for non-ASCII name characters.
         while let Some(c) = self.scanner.peek_char()? {
             if c.is_ascii() || !name::is_name_char(c) {
@@ -893,7 +882,7 @@ impl<R: Read> XmlReader<R> {
             out.push(c);
             self.scanner.next_char()?;
             // Resume the fast path after each non-ASCII char.
-            self.scanner.consume_ascii_run(is_ascii_name_byte, &mut out)?;
+            self.scanner.consume_class_run(&NAME_RUN, &mut out)?;
         }
         if !name::is_valid_name(&out) {
             return Err(XmlError::new(XmlErrorKind::InvalidName { name: out }, pos));
@@ -994,9 +983,42 @@ impl<R: Read> XmlReader<R> {
     }
 }
 
-fn is_ascii_name_byte(b: u8) -> bool {
+const fn is_ascii_name_byte(b: u8) -> bool {
     b.is_ascii_alphanumeric() || matches!(b, b':' | b'_' | b'-' | b'.')
 }
+
+/// Membership table for ASCII name bytes — the scanner's fast path chews
+/// through whole tag/attribute names with table lookups (E2: SAX
+/// dominates runtime, and names are the most frequent token class).
+static NAME_RUN: ByteClass = ByteClass::new({
+    let mut t = [false; 256];
+    let mut b = 0usize;
+    while b < 0x80 {
+        t[b] = is_ascii_name_byte(b as u8);
+        b += 1;
+    }
+    t
+});
+
+/// Membership table for plain character-data bytes: everything except
+/// markup/reference starters (`<`, `&`), the `]`/`>` bytes (kept
+/// char-wise so the `']]>'` well-formedness check sees them) and control
+/// characters other than tab/newline. `\r` and non-ASCII are excluded by
+/// [`ByteClass`] itself.
+static TEXT_RUN: ByteClass = ByteClass::new({
+    let mut t = [false; 256];
+    let mut b = 0usize;
+    while b < 0x80 {
+        let byte = b as u8;
+        t[b] = byte != b'<'
+            && byte != b'&'
+            && byte != b']'
+            && byte != b'>'
+            && (byte >= 0x20 || byte == b'\t' || byte == b'\n');
+        b += 1;
+    }
+    t
+});
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Markup {

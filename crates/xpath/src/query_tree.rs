@@ -298,6 +298,84 @@ impl QueryTree {
         }
         d
     }
+
+    /// The canonical structural form of the query: a whitespace-free
+    /// serialization with every predicate list **sorted** by the predicates'
+    /// own canonical forms. Two queries with equal canonical keys select
+    /// exactly the same nodes on every document (predicate order is
+    /// conjunctive and therefore irrelevant), which is what lets the
+    /// multi-query planner dedupe them into one shared machine.
+    ///
+    /// ```
+    /// use vitex_xpath::QueryTree;
+    /// let a = QueryTree::parse("//a[c and b]/d").unwrap();
+    /// let b = QueryTree::parse("//a[b][ c ]/d").unwrap();
+    /// assert_eq!(a.canonical_key(), b.canonical_key());
+    /// ```
+    pub fn canonical_key(&self) -> String {
+        let mut out = String::with_capacity(self.original.len());
+        self.canonical_node(self.root(), &mut out);
+        out
+    }
+
+    fn canonical_node(&self, id: QNodeId, out: &mut String) {
+        let n = self.node(id);
+        out.push_str(match n.axis {
+            Axis::Child => "/",
+            Axis::Descendant => "//",
+        });
+        match &n.kind {
+            NodeKind::Element { name } => out.push_str(name.as_deref().unwrap_or("*")),
+            NodeKind::Attribute { name } => {
+                out.push('@');
+                out.push_str(name.as_deref().unwrap_or("*"));
+            }
+            NodeKind::Text => out.push_str("text()"),
+        }
+        if let Some((op, lit)) = &n.comparison {
+            out.push_str(&format!("{op}{lit}"));
+        }
+        if !n.pred_children.is_empty() {
+            let mut preds: Vec<String> = n
+                .pred_children
+                .iter()
+                .map(|&c| {
+                    let mut p = String::new();
+                    self.canonical_node(c, &mut p);
+                    p
+                })
+                .collect();
+            preds.sort_unstable();
+            for p in preds {
+                out.push('[');
+                out.push_str(&p);
+                out.push(']');
+            }
+        }
+        if let Some(mc) = n.main_child {
+            self.canonical_node(mc, out);
+        }
+    }
+
+    /// A 64-bit FNV-1a hash of [`QueryTree::canonical_key`]. Deterministic
+    /// across processes and platforms (unlike `std`'s randomized hashers),
+    /// so plan identities are stable in logs, benches and snapshots.
+    pub fn stable_hash(&self) -> u64 {
+        QueryTree::hash_canonical(&self.canonical_key())
+    }
+
+    /// [`QueryTree::stable_hash`] for an already-serialized canonical key
+    /// — callers holding the key avoid re-walking the tree.
+    pub fn hash_canonical(key: &str) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = FNV_OFFSET;
+        for b in key.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+        h
+    }
 }
 
 impl fmt::Display for QueryTree {
@@ -500,6 +578,61 @@ mod tests {
     fn leading_child_attribute_is_rejected() {
         assert!(QueryTree::parse("/@id").is_err());
         assert!(QueryTree::parse("/text()").is_err());
+    }
+
+    #[test]
+    fn canonical_key_sorts_predicates() {
+        let a = build("//a[c and b]/d");
+        let b = build("//a[b][c]/d");
+        assert_eq!(a.canonical_key(), b.canonical_key());
+        assert_eq!(a.stable_hash(), b.stable_hash());
+        // ...but the original text keeps the user's spelling.
+        assert_ne!(a.original(), b.original());
+    }
+
+    #[test]
+    fn canonical_key_distinguishes_structure() {
+        let distinct = [
+            "//a",
+            "/a",
+            "//a/b",
+            "//a//b",
+            "//a[b]",
+            "//a[b/c]",
+            "//a[b][c]",
+            "//a/*",
+            "//a/@id",
+            "//a/text()",
+            "//a[@id = 'x']",
+            "//a[@id = 'y']",
+            "//a[b = 'x']",
+        ];
+        let keys: Vec<String> = distinct.iter().map(|q| build(q).canonical_key()).collect();
+        for (i, ki) in keys.iter().enumerate() {
+            for (j, kj) in keys.iter().enumerate() {
+                if i != j {
+                    assert_ne!(ki, kj, "{} vs {}", distinct[i], distinct[j]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stable_hash_is_deterministic() {
+        // Fixed value: stable across processes/platforms by construction
+        // (FNV-1a over the canonical key); recompute to catch regressions.
+        let t = build("//a");
+        assert_eq!(t.canonical_key(), "//a");
+        let expected = {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in "//a".bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            h
+        };
+        assert_eq!(t.stable_hash(), expected);
+        assert_eq!(t.stable_hash(), build("//a").stable_hash());
     }
 
     #[test]

@@ -6,13 +6,14 @@
 //! vitex [OPTIONS] -e <QUERY> [-e <QUERY> ...] [FILE]
 //!
 //! Options:
-//!   -e, --query <Q>   add a query (repeatable; pub/sub mode when > 1)
-//!   --count           print only the number of matches
-//!   --values          print attribute values / text content instead of spans
-//!   --stats           print stream + machine statistics to stderr
-//!   --eager           use the eager (ablation) candidate propagation mode
-//!   --scan-dispatch   multi-query: poke every machine per event (no index)
-//!   --machine         dump the compiled TwigM machine(s) and exit
+//!   -e, --query <Q>     add a query (repeatable; pub/sub mode when > 1)
+//!   --count             print only the number of matches
+//!   --values            print attribute values / text content instead of spans
+//!   --stats             print stream + machine + plan statistics to stderr
+//!   --eager             use the eager (ablation) candidate propagation mode
+//!   --scan-dispatch     multi-query: poke every machine per event (no index)
+//!   --no-plan-sharing   multi-query: one machine per query (no dedup/trie plan)
+//!   --machine           dump the compiled TwigM machine(s) and exit
 //! ```
 //!
 //! With one query the tool runs the single-query [`Engine`]; with several
@@ -24,7 +25,7 @@ use std::fs::File;
 use std::io::{self, BufReader, Read, Write};
 use std::process::ExitCode;
 
-use vitex_core::{DispatchMode, Engine, EvalMode, Match, MatchKind, MultiEngine};
+use vitex_core::{DispatchMode, Engine, EvalMode, Match, MatchKind, MultiEngine, PlanMode};
 use vitex_xmlsax::XmlReader;
 use vitex_xpath::QueryTree;
 
@@ -36,20 +37,22 @@ struct Options {
     stats: bool,
     eager: bool,
     scan_dispatch: bool,
+    no_plan_sharing: bool,
     machine: bool,
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: vitex [--count] [--values] [--stats] [--eager] [--scan-dispatch] [--machine]\n\
-         \x20            <QUERY> [FILE]\n\
+        "usage: vitex [--count] [--values] [--stats] [--eager] [--scan-dispatch]\n\
+         \x20            [--no-plan-sharing] [--machine] <QUERY> [FILE]\n\
          \x20      vitex [OPTIONS] -e <QUERY> [-e <QUERY> ...] [FILE]\n\
          \n\
          Streams FILE (or stdin) through the TwigM machine(s) and prints every\n\
          node matching each QUERY (XPath fragment: /, //, *, [], @attr, text(),\n\
          value comparisons) as soon as it is decidable. With multiple -e\n\
-         queries the document is scanned once (pub/sub mode) and every line\n\
-         is prefixed with the query index.\n\
+         queries the document is scanned once (pub/sub mode): structurally\n\
+         identical queries share one machine (disable with --no-plan-sharing)\n\
+         and every line is prefixed with the query index.\n\
          \n\
          examples:\n\
          \x20 vitex '//ProteinEntry[reference]/@id' protein.xml\n\
@@ -70,6 +73,7 @@ fn parse_args() -> Options {
         stats: false,
         eager: false,
         scan_dispatch: false,
+        no_plan_sharing: false,
         machine: false,
     };
     let mut args = std::env::args().skip(1);
@@ -84,6 +88,7 @@ fn parse_args() -> Options {
             "--stats" => opts.stats = true,
             "--eager" => opts.eager = true,
             "--scan-dispatch" => opts.scan_dispatch = true,
+            "--no-plan-sharing" => opts.no_plan_sharing = true,
             "--machine" => opts.machine = true,
             "--help" | "-h" => usage(),
             _ if positional_query.is_none() && opts.queries.is_empty() => {
@@ -223,7 +228,8 @@ fn run_single(opts: &Options, tree: &QueryTree) -> ExitCode {
 /// Pub/sub mode: all queries over one scan via the multi-engine.
 fn run_multi(opts: &Options, trees: &[QueryTree]) -> ExitCode {
     let dispatch = if opts.scan_dispatch { DispatchMode::Scan } else { DispatchMode::Indexed };
-    let mut multi = MultiEngine::with_dispatch(dispatch);
+    let plan = if opts.no_plan_sharing { PlanMode::Unshared } else { PlanMode::Shared };
+    let mut multi = MultiEngine::with_options(dispatch, plan);
     for tree in trees {
         if let Err(e) = multi.add_tree(tree) {
             eprintln!("vitex: {e}");
@@ -254,6 +260,7 @@ fn run_multi(opts: &Options, trees: &[QueryTree]) -> ExitCode {
                 eprintln!("elements:   {}", output.elements);
                 eprintln!("text nodes: {}", output.text_nodes);
                 eprintln!("events:     {}", output.events);
+                eprintln!("plan:       {}", output.plan.summary());
                 for (i, s) in output.stats.iter().enumerate() {
                     eprintln!("machine[{i}]: {}", s.summary());
                 }

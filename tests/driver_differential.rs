@@ -10,7 +10,7 @@
 //! dispatch index or the symbol plumbing.
 
 use vitex::baseline::{naive, NaiveConfig};
-use vitex::core::{DispatchMode, Engine, MultiEngine};
+use vitex::core::{DispatchMode, Engine, MultiEngine, PlanMode};
 use vitex::xmlgen::{protein, recursive};
 use vitex::xmlsax::XmlReader;
 use vitex::xpath::QueryTree;
@@ -38,25 +38,28 @@ fn single_ids(xml: &str, tree: &QueryTree) -> Vec<u64> {
     order
 }
 
-/// Asserts every engine agrees on every battery query over `xml`.
+/// Asserts every engine agrees on every battery query over `xml`, in
+/// every dispatch × plan-sharing combination.
 fn check_document(label: &str, xml: &str) {
     let trees: Vec<QueryTree> =
         BATTERY.iter().map(|q| QueryTree::parse(q).expect("valid query")).collect();
 
     for mode in [DispatchMode::Indexed, DispatchMode::Scan] {
-        let mut multi = MultiEngine::with_dispatch(mode);
-        for tree in &trees {
-            multi.add_tree(tree).expect("registrable");
-        }
-        let out = multi.run(XmlReader::from_str(xml), |_, _| {}).expect("multi run");
-        for (i, tree) in trees.iter().enumerate() {
-            let expected = single_ids(xml, tree);
-            let got: Vec<u64> = out.matches[i].iter().map(|m| m.node).collect();
-            assert_eq!(
-                got, expected,
-                "{label}: query {} diverged under {mode:?} dispatch",
-                BATTERY[i]
-            );
+        for plan in [PlanMode::Shared, PlanMode::Unshared] {
+            let mut multi = MultiEngine::with_options(mode, plan);
+            for tree in &trees {
+                multi.add_tree(tree).expect("registrable");
+            }
+            let out = multi.run(XmlReader::from_str(xml), |_, _| {}).expect("multi run");
+            for (i, tree) in trees.iter().enumerate() {
+                let expected = single_ids(xml, tree);
+                let got: Vec<u64> = out.matches[i].iter().map(|m| m.node).collect();
+                assert_eq!(
+                    got, expected,
+                    "{label}: query {} diverged under {mode:?}/{plan:?}",
+                    BATTERY[i]
+                );
+            }
         }
     }
 
@@ -130,6 +133,120 @@ fn mixed_battery_in_one_multi_engine_matches_per_query_engines() {
         let tree = QueryTree::parse(q).unwrap();
         assert_eq!(buffered, single_ids(&xml, &tree), "multi vs single for {q}");
     }
+}
+
+/// A query set with literal duplicates, canonical duplicates (predicate
+/// order flipped) and heavy prefix overlap — the regime the shared-prefix
+/// planner collapses.
+const OVERLAP_SET: &[&str] = &[
+    "//section//cell",
+    "//section//cell", // literal duplicate
+    "//section[author]//table[position]//cell",
+    "//section[author][position]//cell",
+    "//section[position][author]//cell", // canonical duplicate of previous
+    "//ProteinEntry/protein/name",
+    "//ProteinEntry/protein",
+    "//ProteinEntry[reference]/@id",
+    "//ProteinEntry[reference]/@id", // literal duplicate
+    "//ProteinEntry/reference/refinfo/@refid",
+];
+
+/// One document exercising both battery shapes.
+fn mixed_doc() -> String {
+    let mut xml = String::from("<mixed>");
+    xml.push_str(&recursive::figure1());
+    let protein =
+        protein::to_string(&protein::ProteinConfig { target_bytes: 30_000, ..Default::default() });
+    xml.push_str(protein.trim_start_matches("<?xml version=\"1.0\" encoding=\"UTF-8\"?>"));
+    xml.push_str("</mixed>");
+    xml
+}
+
+#[test]
+fn shared_plan_agrees_with_per_query_engines_on_overlapping_sets() {
+    let xml = mixed_doc();
+    for mode in [DispatchMode::Indexed, DispatchMode::Scan] {
+        let mut multi = MultiEngine::with_options(mode, PlanMode::Shared);
+        for q in OVERLAP_SET {
+            multi.add_query(q).unwrap();
+        }
+        assert!(
+            multi.group_count() < OVERLAP_SET.len(),
+            "the overlap set must actually dedupe (got {} groups)",
+            multi.group_count()
+        );
+        let out = multi.run(XmlReader::from_str(&xml), |_, _| {}).expect("shared run");
+        for (i, q) in OVERLAP_SET.iter().enumerate() {
+            let tree = QueryTree::parse(q).unwrap();
+            let got: Vec<u64> = out.matches[i].iter().map(|m| m.node).collect();
+            assert_eq!(got, single_ids(&xml, &tree), "query #{i} {q} under {mode:?}");
+        }
+    }
+}
+
+#[test]
+fn no_plan_sharing_reproduces_per_query_behavior_bit_for_bit() {
+    // The --no-plan-sharing escape hatch: identical MultiOutput payloads
+    // (matches with spans/values/levels, not just node ids) and identical
+    // streamed callback sequences, for a set with duplicates.
+    let xml = mixed_doc();
+    let run = |plan: PlanMode| {
+        let mut multi = MultiEngine::with_options(DispatchMode::Indexed, plan);
+        for q in OVERLAP_SET {
+            multi.add_query(q).unwrap();
+        }
+        let mut streamed: Vec<(usize, u64)> = Vec::new();
+        let out = multi
+            .run(XmlReader::from_str(&xml), |qid, m| streamed.push((qid.0, m.node)))
+            .expect("run");
+        (out, streamed)
+    };
+    let (shared, shared_streamed) = run(PlanMode::Shared);
+    let (unshared, unshared_streamed) = run(PlanMode::Unshared);
+    assert_eq!(shared.matches, unshared.matches);
+    assert_eq!(shared.elements, unshared.elements);
+    assert_eq!(shared.events, unshared.events);
+    // Streamed (query, node) pairs agree as multisets per query; global
+    // interleaving may differ because a shared machine fans a solution
+    // out to all subscribers at once.
+    let per_query = |streamed: &[(usize, u64)]| {
+        let mut by_query: Vec<Vec<u64>> = vec![Vec::new(); OVERLAP_SET.len()];
+        for &(q, n) in streamed {
+            by_query[q].push(n);
+        }
+        by_query
+    };
+    assert_eq!(per_query(&shared_streamed), per_query(&unshared_streamed));
+    // And the plan counters tell the two modes apart.
+    assert!(shared.plan.groups < unshared.plan.groups);
+    assert_eq!(unshared.plan.dedup_ratio(), 1.0);
+    assert!(shared.plan.dedup_ratio() > 1.0);
+}
+
+#[test]
+fn incremental_add_and_remove_matches_fresh_registration() {
+    // Register, remove, re-register across runs: the incrementally
+    // maintained index must behave exactly like an engine built from
+    // scratch with the surviving queries.
+    let xml = mixed_doc();
+    let mut multi = MultiEngine::new();
+    let q_cell = multi.add_query("//section//cell").unwrap();
+    let q_cell_dup = multi.add_query("//section//cell").unwrap();
+    let q_id = multi.add_query("//ProteinEntry[reference]/@id").unwrap();
+    assert_eq!(multi.remove_query(q_cell), Some(false), "duplicate keeps the group");
+    assert_eq!(multi.remove_query(q_id), Some(true), "last subscriber retires the group");
+    let q_name = multi.add_query("//ProteinEntry/protein/name").unwrap();
+    let out = multi.run(XmlReader::from_str(&xml), |_, _| {}).expect("run");
+
+    assert!(out.matches[q_cell.0].is_empty(), "removed query stays silent");
+    assert!(out.matches[q_id.0].is_empty(), "retired group stays silent");
+    for (q, id) in [("//section//cell", q_cell_dup), ("//ProteinEntry/protein/name", q_name)] {
+        let tree = QueryTree::parse(q).unwrap();
+        let got: Vec<u64> = out.matches[id.0].iter().map(|m| m.node).collect();
+        assert_eq!(got, single_ids(&xml, &tree), "surviving query {q}");
+    }
+    assert_eq!(out.plan.queries, 2);
+    assert_eq!(out.plan.groups, 2);
 }
 
 #[test]
