@@ -170,6 +170,25 @@ pub mod multiquery {
     pub fn overlapping_queries(k: usize) -> Vec<String> {
         (0..k).map(|i| OVERLAP_SHAPES[i % OVERLAP_SHAPES.len()].to_string()).collect()
     }
+
+    /// `k` **structurally distinct** standing queries for the sharded
+    /// regime (experiment E10): the same auction-feed shapes, but each
+    /// instance carries a distinct comparison literal (subscriber `i`
+    /// watching *their* item/person), so canonicalization cannot collapse
+    /// them — the plan really runs `k` machines, most of them interested
+    /// in the same hot element names. Per-event work is therefore `O(k)`
+    /// on one core, which is exactly what partitioning groups across
+    /// shards divides.
+    pub fn distinct_overlapping_queries(k: usize) -> Vec<String> {
+        (0..k)
+            .map(|i| match i % 4 {
+                0 => format!("/site/regions//item[payment = 'P{i}']/@id"),
+                1 => format!("//item[quantity][payment = 'Q{i}']/name"),
+                2 => format!("//person[emailaddress = 'mailto:p{i}@example.org']/name"),
+                _ => format!("/site/people/person[name = 'N{i}']/@id"),
+            })
+            .collect()
+    }
 }
 
 #[cfg(test)]

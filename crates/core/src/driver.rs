@@ -57,6 +57,13 @@ pub trait EventSink {
 
     /// An element closed; `sym` is the symbol its start tag resolved to.
     fn end_element(&mut self, sym: Option<Symbol>, event: &EndElementEvent);
+
+    /// The document ended. Called exactly once per [`DocumentDriver::run`],
+    /// after the last element/text event and before `run` returns. Sinks
+    /// that buffer or forward events (e.g. the sharded engine's broadcast
+    /// sink batching events onto worker rings) flush here; the default
+    /// does nothing.
+    fn document_end(&mut self) {}
 }
 
 /// Streams a document once, feeding an [`EventSink`].
@@ -109,7 +116,10 @@ impl DocumentDriver {
                     let sym = self.open_syms.pop().flatten();
                     sink.end_element(sym, &e);
                 }
-                XmlEvent::EndDocument => break,
+                XmlEvent::EndDocument => {
+                    sink.document_end();
+                    break;
+                }
                 XmlEvent::StartDocument { .. }
                 | XmlEvent::Comment(_)
                 | XmlEvent::ProcessingInstruction(_)

@@ -34,6 +34,12 @@
 //! * [`multi::MultiEngine`] — publish/subscribe: many standing queries,
 //!   one scan, with an interned-name dispatch index so an event only
 //!   touches interested machines.
+//! * [`shard::ShardedEngine`] — the same pub/sub surface executed on `N`
+//!   worker threads: plan groups are partitioned across shards, events
+//!   broadcast over bounded rings, and per-shard match streams merged
+//!   back into deterministic single-threaded order; its
+//!   [`shard::ShardSession`] streams document collections back-to-back
+//!   through warm workers.
 //! * [`plan::QueryPlanner`] — the shared-prefix query planner behind
 //!   `MultiEngine`: canonicalizes queries, dedupes structural duplicates
 //!   into one machine with a subscriber fan-out list, and tries main-path
@@ -67,6 +73,7 @@ pub mod multi;
 pub mod plan;
 pub mod predicate;
 pub mod result;
+pub mod shard;
 pub mod stats;
 
 pub use builder::{BuildError, EvalMode, MachineSpec};
@@ -78,4 +85,5 @@ pub use machine::TwigM;
 pub use multi::{DispatchMode, MultiEngine, MultiOutput};
 pub use plan::{PlanGroup, PlanMode, QueryPlanner};
 pub use result::{Match, MatchKind, QueryId};
+pub use shard::{ShardSession, ShardedEngine};
 pub use stats::{MachineStats, PlanStats, StreamStats};

@@ -38,6 +38,7 @@
 
 use std::collections::HashSet;
 use std::mem::size_of;
+use std::sync::Arc;
 
 use vitex_xmlsax::event::Attribute;
 use vitex_xmlsax::pos::ByteSpan;
@@ -91,9 +92,9 @@ struct Candidate {
 struct CandItem {
     kind: MatchKind,
     node: u64,
-    name: Option<Box<str>>,
+    name: Option<Arc<str>>,
     span: ByteSpan,
-    value: Option<Box<str>>,
+    value: Option<Arc<str>>,
     level: u32,
 }
 
@@ -107,9 +108,9 @@ impl CandItem {
         Match {
             kind: self.kind,
             node: self.node,
-            name: self.name.map(String::from),
+            name: self.name,
             span: self.span,
-            value: self.value.map(String::from),
+            value: self.value,
             level: self.level,
         }
     }

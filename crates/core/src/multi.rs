@@ -96,9 +96,11 @@ pub struct MultiOutput {
 }
 
 /// The dispatch index: which plan groups care about which events.
-/// Maintained incrementally as groups activate and retire.
+/// Maintained incrementally as groups activate and retire. Also built
+/// per shard by [`crate::shard`] workers over their group subset, so
+/// sharded dispatch filters events exactly like the single-threaded path.
 #[derive(Debug, Default)]
-struct DispatchIndex {
+pub(crate) struct DispatchIndex {
     /// Symbol index → groups whose query mentions that name (and have no
     /// wildcard step — wildcard groups live in `wildcard`).
     by_symbol: Vec<DynBitSet>,
@@ -113,7 +115,7 @@ impl DispatchIndex {
     /// Splices a newly created group into the index. `nsymbols` is the
     /// interner's current size: compiling the group's spec may have
     /// interned names this index has never seen.
-    fn add_group(&mut self, gid: usize, spec: &MachineSpec, nsymbols: usize) {
+    pub(crate) fn add_group(&mut self, gid: usize, spec: &MachineSpec, nsymbols: usize) {
         if self.by_symbol.len() < nsymbols {
             self.by_symbol.resize(nsymbols, DynBitSet::new());
         }
@@ -151,11 +153,34 @@ impl DispatchIndex {
     /// Calls `f` for every group interested in an element with symbol
     /// `sym` (named groups ∪ wildcard groups).
     #[inline]
-    fn for_each_element_target(&self, sym: Option<Symbol>, f: impl FnMut(usize)) {
+    pub(crate) fn for_each_element_target(&self, sym: Option<Symbol>, f: impl FnMut(usize)) {
         match sym.and_then(|s| self.by_symbol.get(s.index())) {
             Some(named) => named.union_for_each(&self.wildcard, f),
             None => self.wildcard.for_each(f),
         }
+    }
+
+    /// Calls `f` for every group that consumes `characters` events.
+    #[inline]
+    pub(crate) fn for_each_text_target(&self, f: impl FnMut(usize)) {
+        self.text.for_each(f)
+    }
+
+    /// Whether *any* group would receive an element event with this
+    /// symbol. The sharded broadcast path uses this to skip building and
+    /// shipping payloads for events every shard would drop anyway.
+    #[inline]
+    pub(crate) fn has_element_target(&self, sym: Option<Symbol>) -> bool {
+        !self.wildcard.is_empty()
+            || sym
+                .and_then(|s| self.by_symbol.get(s.index()))
+                .is_some_and(|named| !named.is_empty())
+    }
+
+    /// Whether any group consumes `characters` events.
+    #[inline]
+    pub(crate) fn has_text_target(&self) -> bool {
+        !self.text.is_empty()
     }
 }
 
@@ -171,11 +196,11 @@ pub struct MultiEngine {
 }
 
 /// One registration's bookkeeping.
-struct QueryRecord {
+pub(crate) struct QueryRecord {
     /// Canonical text of the query as registered.
     text: String,
     /// Owning plan group; `None` once removed.
-    group: Option<usize>,
+    pub(crate) group: Option<usize>,
 }
 
 impl MultiEngine {
@@ -287,6 +312,23 @@ impl MultiEngine {
         self.planner.stats(&self.interner)
     }
 
+    /// Splits the engine into the disjoint borrows the sharded execution
+    /// layer ([`crate::shard`]) needs: plan groups go to worker threads,
+    /// the driver and interner stay on the document thread, and the
+    /// registration records parameterize output assembly. The engine's own
+    /// dispatch index is *not* exposed — each shard builds its own over
+    /// its group subset.
+    pub(crate) fn shard_parts(&mut self) -> ShardParts<'_> {
+        ShardParts {
+            planner: &mut self.planner,
+            interner: &self.interner,
+            driver: &mut self.driver,
+            mode: self.mode,
+            index: &self.index,
+            records: &self.records,
+        }
+    }
+
     /// Streams `reader` once through every active plan group. `on_match`
     /// fires with the originating query's id the moment a solution is
     /// decidable; a solution of a shared machine fires once per
@@ -337,6 +379,19 @@ impl Default for MultiEngine {
     }
 }
 
+/// Split borrows of a [`MultiEngine`] handed to the sharded execution
+/// layer for the duration of a [`crate::shard::ShardSession`].
+pub(crate) struct ShardParts<'a> {
+    pub(crate) planner: &'a mut QueryPlanner,
+    pub(crate) interner: &'a Interner,
+    pub(crate) driver: &'a mut DocumentDriver,
+    pub(crate) mode: DispatchMode,
+    /// The engine's global dispatch index — read-only during a session,
+    /// used by the broadcast sink as an any-shard-interested filter.
+    pub(crate) index: &'a DispatchIndex,
+    pub(crate) records: &'a [QueryRecord],
+}
+
 /// The multi-query [`EventSink`]: routes each event to the interested
 /// plan groups (or all active ones in [`DispatchMode::Scan`]) and fans
 /// each group's solutions out to its subscribers.
@@ -368,19 +423,29 @@ impl<F: FnMut(QueryId, Match)> MultiSink<'_, F> {
         let (machine, subscribers) = group.machine_and_subscribers();
         let matches = &mut *self.matches;
         let on_match = &mut self.on_match;
-        f(machine, &mut |hit| {
-            // Fan out in registration order; the last subscriber takes the
-            // hit by value so a single-subscriber group clones exactly
-            // once, as the pre-planner engine did.
-            let (&last, rest) = subscribers.split_last().expect("active group has a subscriber");
-            for &sub in rest {
-                matches[sub.0].push(hit.clone());
-                on_match(sub, hit.clone());
-            }
-            matches[last.0].push(hit.clone());
-            on_match(last, hit);
-        });
+        f(machine, &mut |hit| fan_out_match(subscribers, matches, on_match, hit));
     }
+}
+
+/// Fans one solution out to a group's subscribers in registration order:
+/// buffer push then callback per subscriber, the last subscriber taking
+/// the hit by value so a single-subscriber group clones exactly once (as
+/// the pre-planner engine did). This is the **one** fan-out in the
+/// system — the sharded merge calls it too, which is what keeps sharded
+/// delivery order identical to single-threaded by construction.
+pub(crate) fn fan_out_match<F: FnMut(QueryId, Match)>(
+    subscribers: &[QueryId],
+    matches: &mut [Vec<Match>],
+    on_match: &mut F,
+    hit: Match,
+) {
+    let (&last, rest) = subscribers.split_last().expect("active group has a subscriber");
+    for &sub in rest {
+        matches[sub.0].push(hit.clone());
+        on_match(sub, hit.clone());
+    }
+    matches[last.0].push(hit.clone());
+    on_match(last, hit);
 }
 
 impl<F: FnMut(QueryId, Match)> EventSink for MultiSink<'_, F> {

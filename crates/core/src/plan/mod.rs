@@ -66,10 +66,18 @@ pub struct Registration {
 pub struct QueryPlanner {
     mode: PlanMode,
     trie: StepTrie,
-    /// All groups ever created, dense indices. Inactive groups (every
-    /// subscriber removed) keep their slot so group indices stay stable
-    /// for the engine's dispatch bitsets.
+    /// Group slots, dense indices. A slot whose group retires (every
+    /// subscriber removed) goes onto [`QueryPlanner::free_slots`] and is
+    /// **recycled** by a later registration, so long churny add/remove
+    /// sessions keep the id space — and with it the engine's dispatch
+    /// bitsets — from growing without bound. Between retirement and reuse
+    /// the slot still holds the retired group (inactive), so dispatch
+    /// structures can read its spec while unwiring it.
     groups: Vec<PlanGroup>,
+    /// Retired slots available for reuse, most recently retired last.
+    free_slots: Vec<usize>,
+    /// Cumulative count of slot reuses ([`PlanStats::recycled_slots`]).
+    recycled: u64,
     active_groups: usize,
     active_queries: usize,
 }
@@ -81,6 +89,8 @@ impl QueryPlanner {
             mode,
             trie: StepTrie::new(),
             groups: Vec::new(),
+            free_slots: Vec::new(),
+            recycled: 0,
             active_groups: 0,
             active_queries: 0,
         }
@@ -119,8 +129,21 @@ impl QueryPlanner {
         }
         let spec = MachineSpec::compile_with(tree, interner)?;
         let machine = TwigM::from_spec(spec, EvalMode::Compact);
-        let gid = self.groups.len();
-        self.groups.push(PlanGroup::new(machine, canonical, hash, terminal, id));
+        let group = PlanGroup::new(machine, canonical, hash, terminal, id);
+        let gid = match self.free_slots.pop() {
+            Some(slot) => {
+                // Recycle a retired slot: the engine unwired the old
+                // group's dispatch bits at retirement, so the slot is
+                // clean to repopulate in place.
+                self.recycled += 1;
+                self.groups[slot] = group;
+                slot
+            }
+            None => {
+                self.groups.push(group);
+                self.groups.len() - 1
+            }
+        };
         self.trie.add_group(terminal, gid);
         self.active_groups += 1;
         self.active_queries += 1;
@@ -139,11 +162,14 @@ impl QueryPlanner {
         if last {
             self.active_groups -= 1;
             self.trie.remove_group(self.groups[gid].trie_node(), gid);
+            self.free_slots.push(gid);
         }
         last
     }
 
-    /// All groups ever created (inactive slots included), dense indices.
+    /// All group slots (inactive, not-yet-recycled slots included), dense
+    /// indices. The slot count is bounded by the *peak* concurrent group
+    /// count, not the registration history — retirement recycles slots.
     pub fn groups(&self) -> &[PlanGroup] {
         &self.groups
     }
@@ -180,6 +206,7 @@ impl QueryPlanner {
         PlanStats {
             queries: self.active_queries as u64,
             groups: self.active_groups as u64,
+            recycled_slots: self.recycled,
             machine_nodes,
             trie_nodes: self.trie.len() as u64,
             shared_trie_nodes: self.trie.shared_nodes() as u64,
@@ -274,10 +301,31 @@ mod tests {
         assert!(p.unsubscribe(a.group, QueryId(1)), "group now inactive");
         assert_eq!(p.group_count(), 0);
         assert_eq!(p.query_count(), 0);
-        // A fresh registration of the same shape starts a new group.
+        // A fresh registration starts a new group *in the recycled slot*:
+        // the id space is bounded by peak concurrency, not churn history.
         let c = register(&mut p, &mut i, "//a", 2);
         assert!(c.created);
-        assert_ne!(c.group, a.group);
+        assert_eq!(c.group, a.group, "retired slot is recycled");
+        assert_eq!(p.stats(&i).recycled_slots, 1);
+    }
+
+    #[test]
+    fn churny_sessions_recycle_slots_and_bound_the_id_space() {
+        let mut p = QueryPlanner::new(PlanMode::Shared);
+        let mut i = Interner::new();
+        let first = register(&mut p, &mut i, "//a/b", 0);
+        p.unsubscribe(first.group, QueryId(0));
+        for round in 1..100usize {
+            // Alternate shapes so recycling is not just same-shape reuse.
+            let q = if round % 2 == 0 { "//a/b" } else { "//c[d]" };
+            let r = register(&mut p, &mut i, q, round);
+            assert!(r.created);
+            assert!(r.group < 1, "single live group must stay in slot 0, got {}", r.group);
+            p.unsubscribe(r.group, QueryId(round));
+        }
+        assert_eq!(p.groups().len(), 1, "churn must not grow the slot table");
+        assert_eq!(p.stats(&i).recycled_slots, 99);
+        assert_eq!(p.group_count(), 0);
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Query solutions ("matches") emitted by the machine.
 
 use std::fmt;
+use std::sync::Arc;
 
 use vitex_xmlsax::pos::ByteSpan;
 
@@ -33,6 +34,12 @@ pub enum MatchKind {
 }
 
 /// One query solution: a binding of the query's result node.
+///
+/// The string payloads (`name`, `value`) are `Arc`-backed: cloning a
+/// `Match` bumps two reference counts instead of copying heap text, so a
+/// shared plan group fanning one solution out to thousands of subscribers
+/// — or a shard worker shipping results across a thread boundary — never
+/// deep-copies the payload.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Match {
     /// Kind of the matched node.
@@ -40,7 +47,7 @@ pub struct Match {
     /// Document-order id of the matched node.
     pub node: NodeId,
     /// Element name or attribute name (`None` for text nodes).
-    pub name: Option<String>,
+    pub name: Option<Arc<str>>,
     /// Byte span in the source stream: the whole element for elements, the
     /// owning start tag for attributes, the raw text run for text nodes.
     /// Slicing a retained document with this span yields the result
@@ -49,7 +56,7 @@ pub struct Match {
     /// Attribute value or text content (`None` for elements — their content
     /// is identified by `span` so the machine's memory stays independent of
     /// match sizes).
-    pub value: Option<String>,
+    pub value: Option<Arc<str>>,
     /// Depth of the matched node's element context (the element itself for
     /// element matches; the owner element for attributes and text).
     pub level: u32,

@@ -1,0 +1,699 @@
+//! Sharded parallel execution: plan groups partitioned across worker
+//! threads, with a deterministic merge back into single-threaded order.
+//!
+//! TwigM machines are independent consumers of the same event stream, and
+//! the planner already routes each event to disjoint plan groups — so the
+//! groups are an embarrassingly partitionable unit of work. The
+//! [`ShardedEngine`] exploits that: it wraps the multi-query engine,
+//! splits the active plan groups round-robin across `N` worker threads,
+//! broadcasts the driver's interned events over bounded rings
+//! ([`worker::Ring`]), runs each shard's own dispatch index over its
+//! subset, and k-way-merges the per-shard match streams by watermark
+//! ([`merge::MatchMerger`]) into **exactly** the output — same matches,
+//! same order, same statistics — the single-threaded engine produces.
+//!
+//! ## Sessions
+//!
+//! Worker threads are scoped to a [`ShardSession`], not to a single
+//! document: [`ShardedEngine::session`] spawns the workers once, then
+//! [`ShardSession::run_document`] streams any number of documents
+//! back-to-back through the same registered query set without re-planning
+//! or re-partitioning — the document-collections workload, where keeping
+//! the workers warm is what makes the threads pay. Registration churn
+//! (`add_query` / `remove_query`) happens between sessions; the partition
+//! is rebalanced over the then-active groups each time a session opens,
+//! so retired slots recycled by the planner's free-list migrate shards
+//! naturally.
+//!
+//! ## Determinism
+//!
+//! With `shards = 1` the engine *is* the single-threaded
+//! [`MultiEngine::run`] path — bit for bit, no threads, no rings. With
+//! `shards > 1` determinism is by construction: every match carries its
+//! `(event seq, group id)` key, each shard's stream is emitted in key
+//! order, and the merger releases a match only once every shard's
+//! watermark has passed its event. The differential battery asserts
+//! equality at several shard counts.
+
+pub(crate) mod merge;
+pub(crate) mod worker;
+
+use std::io::Read;
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Arc;
+use std::thread;
+
+use vitex_xmlsax::event::{CharactersEvent, EndElementEvent, StartElementEvent};
+use vitex_xmlsax::XmlReader;
+use vitex_xpath::query_tree::QueryTree;
+
+use crate::driver::EventSink;
+use crate::error::EngineResult;
+use crate::intern::{Interner, Symbol};
+use crate::multi::{DispatchMode, MultiEngine, MultiOutput};
+use crate::plan::{PlanGroup, PlanMode};
+use crate::result::{Match, NodeId, QueryId};
+use crate::stats::{MachineStats, PlanStats, StreamStats};
+
+use merge::{MatchMerger, TaggedMatch};
+use worker::{run_worker, EventBatch, Ring, ShardEvent, WorkerReport};
+
+/// Events per broadcast batch: large enough to amortize ring locking and
+/// `Arc<[_]>` allocation, small enough to keep delivery incremental.
+const EVENT_BATCH: usize = 256;
+
+/// Ring depth in batches — the backpressure bound per shard.
+const RING_BATCHES: usize = 8;
+
+/// Round-robin partition of the active group ids across `nshards`, in
+/// ascending id order. Recomputed whenever a session opens, so
+/// registration churn between sessions rebalances the shards.
+pub(crate) fn assign_shards(active_gids: &[usize], nshards: usize) -> Vec<Vec<usize>> {
+    let mut per_shard: Vec<Vec<usize>> = (0..nshards.max(1)).map(|_| Vec::new()).collect();
+    for (i, &gid) in active_gids.iter().enumerate() {
+        per_shard[i % nshards.max(1)].push(gid);
+    }
+    per_shard
+}
+
+/// A multi-query engine that executes plan groups on `N` worker threads.
+///
+/// The registration surface mirrors [`MultiEngine`] (it *is* one
+/// underneath); only execution differs. See the module docs for the
+/// architecture and [`ShardedEngine::session`] for streaming several
+/// documents through warm workers.
+pub struct ShardedEngine {
+    multi: MultiEngine,
+    shards: usize,
+}
+
+impl ShardedEngine {
+    /// An empty engine running `shards` workers (0 is clamped to 1), with
+    /// indexed dispatch and plan sharing.
+    pub fn new(shards: usize) -> Self {
+        ShardedEngine::with_options(shards, DispatchMode::Indexed, PlanMode::Shared)
+    }
+
+    /// An empty engine with explicit dispatch and plan modes; both apply
+    /// within every shard exactly as they do single-threaded.
+    pub fn with_options(shards: usize, dispatch: DispatchMode, plan: PlanMode) -> Self {
+        ShardedEngine { multi: MultiEngine::with_options(dispatch, plan), shards: shards.max(1) }
+    }
+
+    /// The configured worker count.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The wrapped single-threaded engine, for registration-surface calls
+    /// not mirrored here.
+    pub fn engine(&self) -> &MultiEngine {
+        &self.multi
+    }
+
+    /// Registers a query; returns its handle.
+    pub fn add_query(&mut self, query: &str) -> EngineResult<QueryId> {
+        self.multi.add_query(query)
+    }
+
+    /// Registers an already-built query tree.
+    pub fn add_tree(&mut self, tree: &QueryTree) -> EngineResult<QueryId> {
+        self.multi.add_tree(tree)
+    }
+
+    /// Unregisters a query (see [`MultiEngine::remove_query`]).
+    pub fn remove_query(&mut self, id: QueryId) -> Option<bool> {
+        self.multi.remove_query(id)
+    }
+
+    /// Active subscription count.
+    pub fn len(&self) -> usize {
+        self.multi.len()
+    }
+
+    /// Whether no subscription is active.
+    pub fn is_empty(&self) -> bool {
+        self.multi.is_empty()
+    }
+
+    /// Active plan-group (machine) count.
+    pub fn group_count(&self) -> usize {
+        self.multi.group_count()
+    }
+
+    /// Plan-level statistics for the current subscription set.
+    pub fn plan_stats(&self) -> PlanStats {
+        self.multi.plan_stats()
+    }
+
+    /// Streams one document; a one-document [`ShardedEngine::session`].
+    /// With one shard this *is* [`MultiEngine::run`].
+    pub fn run<R: Read, F: FnMut(QueryId, Match)>(
+        &mut self,
+        reader: XmlReader<R>,
+        on_match: F,
+    ) -> EngineResult<MultiOutput> {
+        if self.shards == 1 {
+            return self.multi.run(reader, on_match);
+        }
+        self.session(|session| session.run_document(reader, on_match))
+    }
+
+    /// Opens a streaming session: spawns the worker threads, partitions
+    /// the active plan groups across them, hands `f` a [`ShardSession`]
+    /// to stream documents through, and tears the workers down when `f`
+    /// returns. The subscription set is frozen for the session (the
+    /// borrow checker enforces it — the session mutably borrows the
+    /// engine), so documents stream back-to-back with zero re-planning,
+    /// re-partitioning or thread churn between them.
+    pub fn session<T>(
+        &mut self,
+        f: impl FnOnce(&mut ShardSession<'_>) -> EngineResult<T>,
+    ) -> EngineResult<T> {
+        if self.shards == 1 {
+            // Inline: same API, no threads, bit-for-bit the single-threaded
+            // engine.
+            return f(&mut ShardSession { inner: SessionInner::Inline(&mut self.multi) });
+        }
+        let parts = self.multi.shard_parts();
+        let plan = parts.planner.stats(parts.interner);
+        // Group-resident bytes are re-read from the workers after each
+        // document (stack capacity grows with the stream); everything else
+        // in the plan is frozen for the session. `plan_overhead` is the
+        // non-group remainder (trie, interner).
+        let plan_overhead = plan.plan_bytes
+            - parts
+                .planner
+                .groups()
+                .iter()
+                .filter(|g| g.is_active())
+                .map(|g| g.approx_bytes())
+                .sum::<u64>();
+        let nsymbols = parts.interner.len();
+        let record_groups: Vec<Option<usize>> = parts.records.iter().map(|r| r.group).collect();
+        let subscribers: Vec<Vec<QueryId>> =
+            parts.planner.groups().iter().map(|g| g.subscribers().to_vec()).collect();
+        let group_slots = subscribers.len();
+
+        // Partition the active groups: round-robin in ascending gid order.
+        // Surplus workers would own zero machines yet still pop and
+        // acknowledge every batch, so the worker count is clamped to the
+        // active group count (a session always runs at least one worker —
+        // stream statistics must flow even with no subscriptions).
+        let active_gids: Vec<usize> = parts
+            .planner
+            .groups()
+            .iter()
+            .enumerate()
+            .filter(|(_, g)| g.is_active())
+            .map(|(gid, _)| gid)
+            .collect();
+        let nshards = self.shards.min(active_gids.len()).max(1);
+        let mut shard_of: Vec<usize> = vec![usize::MAX; group_slots];
+        for (shard, gids) in assign_shards(&active_gids, nshards).iter().enumerate() {
+            for &gid in gids {
+                shard_of[gid] = shard;
+            }
+        }
+        let mut per_shard: Vec<Vec<(usize, &mut PlanGroup)>> =
+            (0..nshards).map(|_| Vec::new()).collect();
+        for (gid, group) in parts.planner.groups_mut().iter_mut().enumerate() {
+            if group.is_active() {
+                per_shard[shard_of[gid]].push((gid, group));
+            }
+        }
+
+        let use_index = parts.mode == DispatchMode::Indexed;
+        // In indexed mode the engine's global index doubles as a broadcast
+        // filter: an event no group is interested in is not even built,
+        // let alone shipped (every shard's own index would drop it). Scan
+        // mode pokes every machine, so everything ships.
+        let filter = use_index.then_some(parts.index);
+        let rings: Vec<Arc<Ring<EventBatch>>> =
+            (0..nshards).map(|_| Arc::new(Ring::new(RING_BATCHES))).collect();
+        let (tx, rx): (Sender<WorkerReport>, Receiver<WorkerReport>) = channel();
+        thread::scope(|scope| {
+            for (shard, groups) in per_shard.into_iter().enumerate() {
+                let ring = Arc::clone(&rings[shard]);
+                let tx = tx.clone();
+                scope.spawn(move || run_worker(shard, groups, use_index, nsymbols, ring, tx));
+            }
+            drop(tx);
+            // Rings must close even if `f` (or output assembly) panics:
+            // the scope joins the workers on unwind, and a worker blocked
+            // in `Ring::pop` would never exit.
+            let _close_on_exit = CloseRings(&rings);
+            let mut session = ShardSession {
+                inner: SessionInner::Threaded(Box::new(ThreadedSession {
+                    driver: parts.driver,
+                    interner: parts.interner,
+                    filter,
+                    rings: &rings,
+                    rx: &rx,
+                    subscribers,
+                    record_groups,
+                    group_slots,
+                    nshards,
+                    plan,
+                    plan_overhead,
+                })),
+            };
+            f(&mut session)
+        })
+    }
+}
+
+/// Closes every ring on drop — the session's worker-release guard, run on
+/// both the normal and the unwinding exit path.
+struct CloseRings<'a>(&'a [Arc<Ring<EventBatch>>]);
+
+impl Drop for CloseRings<'_> {
+    fn drop(&mut self) {
+        for ring in self.0 {
+            ring.close();
+        }
+    }
+}
+
+impl std::fmt::Debug for ShardedEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedEngine")
+            .field("shards", &self.shards)
+            .field("queries", &self.multi.len())
+            .field("groups", &self.multi.group_count())
+            .finish()
+    }
+}
+
+/// A live sharded session: worker threads are up, the plan is frozen, and
+/// any number of documents can stream through. Obtained from
+/// [`ShardedEngine::session`].
+pub struct ShardSession<'a> {
+    inner: SessionInner<'a>,
+}
+
+enum SessionInner<'a> {
+    /// One shard: delegate to the single-threaded engine.
+    Inline(&'a mut MultiEngine),
+    /// Worker threads are running (boxed: the threaded state is large).
+    Threaded(Box<ThreadedSession<'a>>),
+}
+
+impl ShardSession<'_> {
+    /// Streams one document through the session's workers and returns the
+    /// same [`MultiOutput`] — matches, per-query statistics, plan and
+    /// stream counters, all in the same order — that
+    /// [`MultiEngine::run`] produces for this subscription set.
+    /// `on_match` fires on the calling thread, in single-threaded
+    /// emission order, while the document is still streaming (held back
+    /// only by the merge watermarks).
+    pub fn run_document<R: Read, F: FnMut(QueryId, Match)>(
+        &mut self,
+        reader: XmlReader<R>,
+        on_match: F,
+    ) -> EngineResult<MultiOutput> {
+        match &mut self.inner {
+            SessionInner::Inline(multi) => multi.run(reader, on_match),
+            SessionInner::Threaded(t) => t.run_document(reader, on_match),
+        }
+    }
+}
+
+/// Session state for the `shards > 1` path.
+struct ThreadedSession<'a> {
+    driver: &'a mut crate::driver::DocumentDriver,
+    interner: &'a Interner,
+    /// `Some` in indexed mode: the engine's global dispatch index, used
+    /// to skip broadcasting events with no interested group anywhere.
+    filter: Option<&'a crate::multi::DispatchIndex>,
+    rings: &'a [Arc<Ring<EventBatch>>],
+    rx: &'a Receiver<WorkerReport>,
+    /// Subscriber snapshot per group slot (frozen for the session).
+    subscribers: Vec<Vec<QueryId>>,
+    /// Plan group per registration record (`None` = removed).
+    record_groups: Vec<Option<usize>>,
+    group_slots: usize,
+    nshards: usize,
+    /// Plan statistics snapshot (the plan cannot change mid-session);
+    /// `plan_bytes` is refreshed per document from worker snapshots.
+    plan: PlanStats,
+    /// The non-group share of `plan.plan_bytes` (trie, interner).
+    plan_overhead: u64,
+}
+
+impl ThreadedSession<'_> {
+    fn run_document<R: Read, F: FnMut(QueryId, Match)>(
+        &mut self,
+        reader: XmlReader<R>,
+        mut on_match: F,
+    ) -> EngineResult<MultiOutput> {
+        let mut matches: Vec<Vec<Match>> = self.record_groups.iter().map(|_| Vec::new()).collect();
+        let mut merger = MatchMerger::new(self.nshards);
+        let mut group_stats: Vec<MachineStats> = vec![MachineStats::default(); self.group_slots];
+        let mut group_bytes = 0u64;
+        let mut done = 0usize;
+        let stream = {
+            let mut pump = DocPump {
+                interner: self.interner,
+                filter: self.filter,
+                rings: self.rings,
+                rx: self.rx,
+                merger: &mut merger,
+                subscribers: &self.subscribers,
+                matches: &mut matches,
+                on_match: &mut on_match,
+                group_stats: &mut group_stats,
+                group_bytes: &mut group_bytes,
+                done: &mut done,
+                seq: 0,
+                open_names: Vec::new(),
+                batch: Vec::with_capacity(EVENT_BATCH),
+                ended: false,
+            };
+            pump.batch.push(ShardEvent::DocStart);
+            let stream = self.driver.run(reader, &mut pump);
+            // On a parse error the driver never reached `document_end`;
+            // close the document on the worker side anyway so the workers
+            // quiesce and the session stays usable for the next document.
+            if !pump.ended {
+                pump.finish_document();
+            }
+            // Block until every shard has acknowledged DocEnd, delivering
+            // merged matches as they become safe.
+            while *pump.done < self.nshards {
+                let report = recv_report(self.rx, self.rings);
+                pump.ingest(report);
+            }
+            debug_assert!(pump.merger.is_drained(), "all shards reported through the final event");
+            stream
+        };
+        let stream: StreamStats = stream?;
+        let stats = self
+            .record_groups
+            .iter()
+            .map(|g| match g {
+                Some(gid) => group_stats[*gid].clone(),
+                None => MachineStats::default(),
+            })
+            .collect();
+        Ok(MultiOutput {
+            matches,
+            stats,
+            plan: PlanStats { plan_bytes: self.plan_overhead + group_bytes, ..self.plan },
+            elements: stream.elements,
+            text_nodes: stream.text_nodes,
+            events: stream.events,
+        })
+    }
+}
+
+/// Receives one worker report; if the channel is dead (a worker
+/// panicked), closes the rings so every surviving worker can exit before
+/// the scope re-raises the panic at join.
+fn recv_report(rx: &Receiver<WorkerReport>, rings: &[Arc<Ring<EventBatch>>]) -> WorkerReport {
+    match rx.recv() {
+        Ok(report) => report,
+        Err(_) => {
+            for ring in rings {
+                ring.close();
+            }
+            panic!("shard worker terminated unexpectedly");
+        }
+    }
+}
+
+/// Fans one merged match out to its group's subscribers via the same
+/// [`crate::multi::fan_out_match`] the single-threaded sink uses — one
+/// fan-out implementation, so delivery order cannot diverge.
+fn fan_out<F: FnMut(QueryId, Match)>(
+    subscribers: &[Vec<QueryId>],
+    matches: &mut [Vec<Match>],
+    on_match: &mut F,
+    t: TaggedMatch,
+) {
+    crate::multi::fan_out_match(&subscribers[t.gid as usize], matches, on_match, t.m);
+}
+
+/// The broadcasting [`EventSink`]: numbers events, batches them, ships
+/// each batch to every shard ring, and opportunistically drains worker
+/// reports between batches so merged matches stream to the caller while
+/// the document is still being read.
+struct DocPump<'a, F: FnMut(QueryId, Match)> {
+    interner: &'a Interner,
+    filter: Option<&'a crate::multi::DispatchIndex>,
+    rings: &'a [Arc<Ring<EventBatch>>],
+    rx: &'a Receiver<WorkerReport>,
+    merger: &'a mut MatchMerger,
+    subscribers: &'a [Vec<QueryId>],
+    matches: &'a mut Vec<Vec<Match>>,
+    on_match: &'a mut F,
+    /// Per-group machine statistics, filled by DocEnd acknowledgements.
+    group_stats: &'a mut [MachineStats],
+    /// Post-document group-resident bytes summed across DocEnd
+    /// acknowledgements (feeds [`PlanStats::plan_bytes`]).
+    group_bytes: &'a mut u64,
+    /// Shards that have acknowledged DocEnd so far.
+    done: &'a mut usize,
+    /// Sequence number of the last event pushed (1-based).
+    seq: u64,
+    /// `Arc` names of open *shipped* elements, innermost last: the end
+    /// tag reuses the start tag's allocation. Skips pair up (same symbol
+    /// against the same frozen filter), so pushes and pops balance.
+    open_names: Vec<Arc<str>>,
+    batch: Vec<ShardEvent>,
+    ended: bool,
+}
+
+impl<F: FnMut(QueryId, Match)> DocPump<'_, F> {
+    /// Folds one worker report in: matches into the merger (releasing and
+    /// fanning out whatever became safe), DocEnd acknowledgements into
+    /// the statistics snapshot.
+    fn ingest(&mut self, report: WorkerReport) {
+        if report.poisoned {
+            // A worker is unwinding. Release every other worker so the
+            // scope can join them all, then unwind ourselves — the scope
+            // re-raises the worker's original panic payload.
+            for ring in self.rings {
+                ring.close();
+            }
+            panic!("shard worker {} panicked mid-session", report.shard);
+        }
+        if let Some(doc_stats) = report.doc_stats {
+            for snapshot in doc_stats {
+                self.group_stats[snapshot.gid] = snapshot.stats;
+                *self.group_bytes += snapshot.approx_bytes;
+            }
+            *self.done += 1;
+        }
+        self.merger.push(report.shard, report.matches, report.through_seq);
+        let (merger, subscribers, matches, on_match) =
+            (&mut *self.merger, self.subscribers, &mut *self.matches, &mut *self.on_match);
+        merger.drain(|t| fan_out(subscribers, matches, on_match, t));
+    }
+
+    /// Broadcasts the pending batch (built once, `Arc`-shared per ring)
+    /// and drains any worker reports that have already arrived.
+    fn flush(&mut self) {
+        if self.batch.is_empty() {
+            return;
+        }
+        let batch: EventBatch = std::mem::take(&mut self.batch).into();
+        for ring in self.rings {
+            ring.push(batch.clone());
+        }
+        self.batch.reserve(EVENT_BATCH);
+        while let Ok(report) = self.rx.try_recv() {
+            self.ingest(report);
+        }
+    }
+
+    /// Terminates the document on the worker side: `DocEnd` at the final
+    /// sequence number, flushed with whatever the batch still holds.
+    fn finish_document(&mut self) {
+        self.batch.push(ShardEvent::DocEnd { seq: self.seq });
+        self.flush();
+        self.ended = true;
+    }
+}
+
+impl<F: FnMut(QueryId, Match)> EventSink for DocPump<'_, F> {
+    fn resolve(&mut self, name: &str) -> Option<Symbol> {
+        self.interner.lookup(name)
+    }
+
+    fn start_element(
+        &mut self,
+        sym: Option<Symbol>,
+        event: &StartElementEvent,
+        node_id: NodeId,
+        attr_id_base: NodeId,
+    ) {
+        self.seq += 1;
+        // Sequence numbers advance for *every* event (they are the merge
+        // key), but payloads for events no shard would dispatch are never
+        // built or shipped. The matching end tag resolves to the same
+        // symbol against the same frozen index, so skips always pair up.
+        if self.filter.is_some_and(|index| !index.has_element_target(sym)) {
+            return;
+        }
+        let name: Arc<str> = event.name.as_str().into();
+        self.open_names.push(Arc::clone(&name));
+        self.batch.push(ShardEvent::Start {
+            seq: self.seq,
+            sym,
+            name,
+            level: event.level,
+            attrs: event.attributes.as_slice().into(),
+            node_id,
+            attr_id_base,
+            span: event.span,
+        });
+        if self.batch.len() >= EVENT_BATCH {
+            self.flush();
+        }
+    }
+
+    fn characters(&mut self, event: &CharactersEvent, node_id: NodeId) {
+        self.seq += 1;
+        if self.filter.is_some_and(|index| !index.has_text_target()) {
+            return;
+        }
+        self.batch.push(ShardEvent::Text {
+            seq: self.seq,
+            text: event.text.as_str().into(),
+            level: event.level,
+            node_id,
+            span: event.span,
+        });
+        if self.batch.len() >= EVENT_BATCH {
+            self.flush();
+        }
+    }
+
+    fn end_element(&mut self, sym: Option<Symbol>, event: &EndElementEvent) {
+        self.seq += 1;
+        if self.filter.is_some_and(|index| !index.has_element_target(sym)) {
+            return;
+        }
+        let name = self.open_names.pop().expect("shipped end tags pair with shipped start tags");
+        self.batch.push(ShardEvent::End {
+            seq: self.seq,
+            sym,
+            name,
+            level: event.level,
+            element_span: event.element_span,
+        });
+        if self.batch.len() >= EVENT_BATCH {
+            self.flush();
+        }
+    }
+
+    fn document_end(&mut self) {
+        self.finish_document();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_assignment_balances_and_orders() {
+        let assigned = assign_shards(&[0, 2, 3, 7, 8], 2);
+        assert_eq!(assigned, [vec![0, 3, 8], vec![2, 7]]);
+        let one = assign_shards(&[4, 5], 1);
+        assert_eq!(one, [vec![4, 5]]);
+        assert_eq!(assign_shards(&[], 3), [vec![], vec![], vec![]]);
+    }
+
+    #[test]
+    fn sharded_output_matches_single_threaded() {
+        let xml = "<r><a id=\"1\"><b>hi</b></a><c/><a id=\"2\"/></r>";
+        let queries = ["//a", "//a/@id", "//b/text()", "//a", "//*"];
+        let reference = {
+            let mut multi = MultiEngine::new();
+            for q in queries {
+                multi.add_query(q).unwrap();
+            }
+            multi.run(XmlReader::from_str(xml), |_, _| {}).unwrap()
+        };
+        for shards in [1usize, 2, 3, 8] {
+            let mut sharded = ShardedEngine::new(shards);
+            for q in queries {
+                sharded.add_query(q).unwrap();
+            }
+            let mut streamed = Vec::new();
+            let out =
+                sharded.run(XmlReader::from_str(xml), |q, m| streamed.push((q.0, m.node))).unwrap();
+            assert_eq!(out.matches, reference.matches, "{shards} shards");
+            assert_eq!(out.stats, reference.stats, "{shards} shards");
+            assert_eq!(out.plan, reference.plan, "{shards} shards");
+            assert_eq!(out.elements, reference.elements);
+            assert_eq!(out.events, reference.events);
+            assert!(!streamed.is_empty());
+        }
+    }
+
+    #[test]
+    fn session_streams_documents_back_to_back() {
+        let mut sharded = ShardedEngine::new(3);
+        let qa = sharded.add_query("//a").unwrap();
+        let qb = sharded.add_query("//b").unwrap();
+        let docs = ["<a><b/></a>", "<a><a/><b/><b/></a>", "<x/>"];
+        let outs = sharded
+            .session(|session| {
+                docs.iter()
+                    .map(|xml| session.run_document(XmlReader::from_str(xml), |_, _| {}))
+                    .collect::<EngineResult<Vec<_>>>()
+            })
+            .unwrap();
+        assert_eq!(outs[0].matches[qa.0].len(), 1);
+        assert_eq!(outs[1].matches[qa.0].len(), 2);
+        assert_eq!(outs[1].matches[qb.0].len(), 2);
+        assert_eq!(outs[2].matches[qa.0].len(), 0);
+        assert_eq!(outs[2].elements, 1);
+    }
+
+    #[test]
+    fn parse_error_mid_session_leaves_the_session_usable() {
+        let mut sharded = ShardedEngine::new(2);
+        let q = sharded.add_query("//b").unwrap();
+        let out = sharded
+            .session(|session| {
+                let err = session.run_document(XmlReader::from_str("<a><b></a>"), |_, _| {});
+                assert!(err.is_err(), "malformed document surfaces its error");
+                session.run_document(XmlReader::from_str("<a><b/></a>"), |_, _| {})
+            })
+            .unwrap();
+        assert_eq!(out.matches[q.0].len(), 1);
+    }
+
+    #[test]
+    fn more_shards_than_groups_is_fine() {
+        let mut sharded = ShardedEngine::new(8);
+        let q = sharded.add_query("//a").unwrap();
+        let out = sharded.run(XmlReader::from_str("<a><a/></a>"), |_, _| {}).unwrap();
+        assert_eq!(out.matches[q.0].len(), 2);
+        // And with no queries at all, the stream statistics still flow.
+        let mut empty = ShardedEngine::new(4);
+        let out = empty.run(XmlReader::from_str("<a><b/></a>"), |_, _| {}).unwrap();
+        assert_eq!(out.elements, 2);
+        assert!(out.matches.is_empty());
+    }
+
+    #[test]
+    fn churn_between_sessions_rebalances() {
+        let mut sharded = ShardedEngine::new(2);
+        let qa = sharded.add_query("//a").unwrap();
+        let qb = sharded.add_query("//b").unwrap();
+        let out = sharded.run(XmlReader::from_str("<a><b/></a>"), |_, _| {}).unwrap();
+        assert_eq!(out.matches[qa.0].len(), 1);
+        assert_eq!(sharded.remove_query(qa), Some(true));
+        let qc = sharded.add_query("//c").unwrap();
+        let out = sharded.run(XmlReader::from_str("<a><b/><c/></a>"), |_, _| {}).unwrap();
+        assert!(out.matches[qa.0].is_empty(), "removed query stays silent");
+        assert_eq!(out.matches[qb.0].len(), 1);
+        assert_eq!(out.matches[qc.0].len(), 1);
+        assert_eq!(out.plan.recycled_slots, 1, "//c recycled //a's slot");
+    }
+}

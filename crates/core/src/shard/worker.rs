@@ -1,0 +1,357 @@
+//! Shard workers: the bounded event ring and the per-shard event loop.
+//!
+//! A worker owns a disjoint subset of the plan groups for the duration of
+//! a [`crate::shard::ShardSession`] (the borrow is scoped — groups return
+//! to the engine when the session closes). It pops event batches off its
+//! ring, runs its own [`DispatchIndex`] over the subset — so per-event
+//! filtering behaves exactly like the single-threaded engine restricted
+//! to those groups — and reports emitted matches tagged with their global
+//! ordering key, plus a watermark, back to the document thread.
+
+use std::collections::VecDeque;
+use std::sync::mpsc::Sender;
+use std::sync::{Arc, Condvar, Mutex};
+
+use vitex_xmlsax::event::Attribute;
+use vitex_xmlsax::pos::ByteSpan;
+
+use crate::intern::Symbol;
+use crate::multi::DispatchIndex;
+use crate::plan::PlanGroup;
+use crate::result::NodeId;
+use crate::stats::MachineStats;
+
+use super::merge::TaggedMatch;
+
+/// One document event in shard-transportable form. String payloads (tag
+/// name, attributes, text) are `Arc`-shared: the document thread builds
+/// each event **once** and broadcasting to N shards bumps reference
+/// counts; everything else is `Copy`.
+#[derive(Debug, Clone)]
+pub(crate) enum ShardEvent {
+    /// A document begins: reset machine state (stacks, stats, dedup sets).
+    DocStart,
+    /// `startElement` with the symbol the driver resolved once.
+    Start {
+        seq: u64,
+        sym: Option<Symbol>,
+        name: Arc<str>,
+        level: u32,
+        attrs: Arc<[Attribute]>,
+        node_id: NodeId,
+        attr_id_base: NodeId,
+        span: ByteSpan,
+    },
+    /// A text node.
+    Text { seq: u64, text: Arc<str>, level: u32, node_id: NodeId, span: ByteSpan },
+    /// `endElement`, replaying the start tag's symbol.
+    End { seq: u64, sym: Option<Symbol>, name: Arc<str>, level: u32, element_span: ByteSpan },
+    /// The document ended; `seq` is the total number of sequenced events,
+    /// i.e. the final watermark. The worker snapshots machine statistics
+    /// and acknowledges.
+    DocEnd { seq: u64 },
+}
+
+/// A broadcast batch: built once, shared by every shard's ring.
+pub(crate) type EventBatch = Arc<[ShardEvent]>;
+
+/// A bounded SPSC ring buffer carrying event batches from the document
+/// thread to one worker.
+///
+/// Safe-Rust implementation: a mutex-guarded deque with condvars for the
+/// full/empty edges. The coarse lock is taken once per *batch* (hundreds
+/// of events), so lock traffic is off the per-event hot path; the bound
+/// provides backpressure — a slow shard stalls the document reader
+/// instead of buffering the whole stream.
+#[derive(Debug)]
+pub(crate) struct Ring<T> {
+    state: Mutex<RingState<T>>,
+    not_full: Condvar,
+    not_empty: Condvar,
+    capacity: usize,
+}
+
+#[derive(Debug)]
+struct RingState<T> {
+    queue: VecDeque<T>,
+    closed: bool,
+}
+
+impl<T> Ring<T> {
+    /// A ring holding at most `capacity` items.
+    pub(crate) fn new(capacity: usize) -> Self {
+        Ring {
+            state: Mutex::new(RingState {
+                queue: VecDeque::with_capacity(capacity),
+                closed: false,
+            }),
+            not_full: Condvar::new(),
+            not_empty: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Enqueues `item`, blocking while the ring is full. Items pushed
+    /// after [`Ring::close`] are dropped (the consumer is gone).
+    pub(crate) fn push(&self, item: T) {
+        let mut state = self.state.lock().expect("ring lock");
+        while state.queue.len() >= self.capacity && !state.closed {
+            state = self.not_full.wait(state).expect("ring lock");
+        }
+        if !state.closed {
+            state.queue.push_back(item);
+            drop(state);
+            self.not_empty.notify_one();
+        }
+    }
+
+    /// Dequeues the next item, blocking while the ring is empty. Returns
+    /// `None` once the ring is closed **and** drained.
+    pub(crate) fn pop(&self) -> Option<T> {
+        let mut state = self.state.lock().expect("ring lock");
+        loop {
+            if let Some(item) = state.queue.pop_front() {
+                drop(state);
+                self.not_full.notify_one();
+                return Some(item);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.not_empty.wait(state).expect("ring lock");
+        }
+    }
+
+    /// Closes the ring: pending items remain poppable, further pushes are
+    /// dropped, and a blocked consumer (or producer) wakes up.
+    pub(crate) fn close(&self) {
+        let mut state = self.state.lock().expect("ring lock");
+        state.closed = true;
+        drop(state);
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+}
+
+/// One worker→document-thread report: the matches emitted while
+/// processing a batch (often empty), the shard's new watermark, and — on
+/// the report acknowledging a [`ShardEvent::DocEnd`] — per-group machine
+/// statistics snapshots for output assembly.
+#[derive(Debug)]
+pub(crate) struct WorkerReport {
+    pub(crate) shard: usize,
+    pub(crate) matches: Vec<TaggedMatch>,
+    pub(crate) through_seq: u64,
+    pub(crate) doc_stats: Option<Vec<GroupSnapshot>>,
+    /// The worker is unwinding from a panic. The document thread must
+    /// stop feeding the session and re-raise (the scope join surfaces
+    /// the original panic payload) instead of waiting on this shard.
+    pub(crate) poisoned: bool,
+}
+
+/// End-of-document state of one plan group, reported by its worker:
+/// machine statistics for [`crate::multi::MultiOutput::stats`] and the
+/// group's resident bytes (stack capacity grows with the documents seen,
+/// so plan-memory accounting must read the post-run value).
+#[derive(Debug)]
+pub(crate) struct GroupSnapshot {
+    pub(crate) gid: usize,
+    pub(crate) stats: MachineStats,
+    pub(crate) approx_bytes: u64,
+}
+
+/// The worker loop: runs on its own thread for the lifetime of a session,
+/// processing batches until the ring closes. `groups` is this shard's
+/// subset in ascending group-id order; `nsymbols` sizes the local
+/// dispatch index (the interner is frozen for the session).
+pub(crate) fn run_worker(
+    shard: usize,
+    mut groups: Vec<(usize, &mut PlanGroup)>,
+    use_index: bool,
+    nsymbols: usize,
+    ring: Arc<Ring<EventBatch>>,
+    out: Sender<WorkerReport>,
+) {
+    // If this worker panics (a machine bug), the session must not hang:
+    // close our ring so a document thread blocked in `Ring::push` on it
+    // wakes up, and report the poisoning so it stops waiting for our
+    // DocEnd acknowledgement and re-raises at the scope join.
+    let _poison_on_panic = PoisonGuard { shard, ring: &ring, out: &out };
+
+    // Local dispatch structures over this shard's subset, keyed by global
+    // group id so match tags are globally comparable.
+    let mut index = DispatchIndex::default();
+    let max_gid = groups.iter().map(|(gid, _)| gid + 1).max().unwrap_or(0);
+    let mut local_of: Vec<u32> = vec![u32::MAX; max_gid];
+    for (li, (gid, group)) in groups.iter().enumerate() {
+        index.add_group(*gid, group.machine().spec(), nsymbols);
+        local_of[*gid] = li as u32;
+    }
+
+    // Ascending global gids, indexable by local slot (the scan path).
+    let gids: Vec<u32> = groups.iter().map(|(gid, _)| *gid as u32).collect();
+
+    let mut matches: Vec<TaggedMatch> = Vec::new();
+    let mut through_seq = 0u64;
+    while let Some(batch) = ring.pop() {
+        let mut doc_stats = None;
+        for event in batch.iter() {
+            // Routes this event to the machine of local group `li`. Both
+            // dispatch paths visit groups in ascending global gid order,
+            // mirroring the single-threaded engine.
+            let mut touch = |li: u32, seq: u64, gid: u32| {
+                let machine = groups[li as usize].1.machine_mut();
+                let sink = &mut |m| matches.push(TaggedMatch { seq, gid, m });
+                match event {
+                    ShardEvent::Start {
+                        sym,
+                        name,
+                        level,
+                        attrs,
+                        node_id,
+                        attr_id_base,
+                        span,
+                        ..
+                    } => {
+                        machine.start_element_interned(
+                            *sym,
+                            name,
+                            *level,
+                            attrs,
+                            *node_id,
+                            *attr_id_base,
+                            *span,
+                            sink,
+                        );
+                    }
+                    ShardEvent::Text { text, level, node_id, span, .. } => {
+                        machine.characters(text, *level, *node_id, *span, sink);
+                    }
+                    ShardEvent::End { name, level, element_span, .. } => {
+                        machine.end_element(name, *level, *element_span, sink);
+                    }
+                    ShardEvent::DocStart | ShardEvent::DocEnd { .. } => unreachable!(),
+                }
+            };
+            match event {
+                ShardEvent::DocStart => {
+                    for (_, group) in groups.iter_mut() {
+                        group.machine_mut().reset();
+                    }
+                    through_seq = 0;
+                }
+                ShardEvent::Start { seq, sym, .. } | ShardEvent::End { seq, sym, .. } => {
+                    through_seq = *seq;
+                    if use_index {
+                        index.for_each_element_target(*sym, |gid| {
+                            touch(local_of[gid], *seq, gid as u32)
+                        });
+                    } else {
+                        for (li, &gid) in gids.iter().enumerate() {
+                            touch(li as u32, *seq, gid);
+                        }
+                    }
+                }
+                ShardEvent::Text { seq, .. } => {
+                    through_seq = *seq;
+                    if use_index {
+                        index.for_each_text_target(|gid| touch(local_of[gid], *seq, gid as u32));
+                    } else {
+                        for (li, &gid) in gids.iter().enumerate() {
+                            touch(li as u32, *seq, gid);
+                        }
+                    }
+                }
+                ShardEvent::DocEnd { seq } => {
+                    through_seq = *seq;
+                    doc_stats = Some(
+                        groups
+                            .iter()
+                            .map(|(gid, group)| GroupSnapshot {
+                                gid: *gid,
+                                stats: group.machine().stats().clone(),
+                                approx_bytes: group.approx_bytes(),
+                            })
+                            .collect(),
+                    );
+                }
+            }
+        }
+        let report = WorkerReport {
+            shard,
+            matches: std::mem::take(&mut matches),
+            through_seq,
+            doc_stats,
+            poisoned: false,
+        };
+        if out.send(report).is_err() {
+            return; // session is gone; nothing left to report to
+        }
+    }
+}
+
+/// The worker's unwind guard (see [`run_worker`]). On a normal exit the
+/// drop is a no-op.
+struct PoisonGuard<'a> {
+    shard: usize,
+    ring: &'a Ring<EventBatch>,
+    out: &'a Sender<WorkerReport>,
+}
+
+impl Drop for PoisonGuard<'_> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            self.ring.close();
+            let _ = self.out.send(WorkerReport {
+                shard: self.shard,
+                matches: Vec::new(),
+                through_seq: 0,
+                doc_stats: None,
+                poisoned: true,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn ring_is_fifo_and_close_drains() {
+        let ring = Ring::new(4);
+        ring.push(1);
+        ring.push(2);
+        ring.close();
+        ring.push(3); // dropped: closed
+        assert_eq!(ring.pop(), Some(1));
+        assert_eq!(ring.pop(), Some(2));
+        assert_eq!(ring.pop(), None);
+    }
+
+    #[test]
+    fn ring_bounds_apply_backpressure() {
+        let ring = Arc::new(Ring::new(2));
+        let popped = Arc::new(AtomicUsize::new(0));
+        std::thread::scope(|s| {
+            let consumer = {
+                let ring = Arc::clone(&ring);
+                let popped = Arc::clone(&popped);
+                s.spawn(move || {
+                    while ring.pop().is_some() {
+                        popped.fetch_add(1, Ordering::SeqCst);
+                    }
+                })
+            };
+            // 64 pushes through a capacity-2 ring must block-and-resume
+            // rather than drop or reorder.
+            for i in 0..64 {
+                ring.push(i);
+            }
+            ring.close();
+            consumer.join().unwrap();
+        });
+        assert_eq!(popped.load(Ordering::SeqCst), 64);
+    }
+}

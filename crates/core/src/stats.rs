@@ -34,6 +34,11 @@ pub struct PlanStats {
     /// Equal to `queries` when plan sharing is off or no query duplicates
     /// another.
     pub groups: u64,
+    /// Cumulative count of retired group slots recycled by later
+    /// registrations: the planner's free-list keeps the group-id space
+    /// (and the engine's dispatch bitsets) bounded by *peak* concurrent
+    /// groups under churny add/remove sessions.
+    pub recycled_slots: u64,
     /// Total stacked machine nodes across active group machines.
     pub machine_nodes: u64,
     /// Nodes in the shared step trie (one per distinct location-step
@@ -61,11 +66,12 @@ impl PlanStats {
     /// Human-readable one-line summary.
     pub fn summary(&self) -> String {
         format!(
-            "queries={} groups={} dedup={:.2}x machine_nodes={} trie_nodes={} \
-             shared_trie_nodes={} plan_bytes={}",
+            "queries={} groups={} dedup={:.2}x recycled_slots={} machine_nodes={} \
+             trie_nodes={} shared_trie_nodes={} plan_bytes={}",
             self.queries,
             self.groups,
             self.dedup_ratio(),
+            self.recycled_slots,
             self.machine_nodes,
             self.trie_nodes,
             self.shared_trie_nodes,

@@ -13,19 +13,24 @@
 //!   --eager             use the eager (ablation) candidate propagation mode
 //!   --scan-dispatch     multi-query: poke every machine per event (no index)
 //!   --no-plan-sharing   multi-query: one machine per query (no dedup/trie plan)
+//!   --shards <N>        run plan groups on N worker threads (default 1)
 //!   --machine           dump the compiled TwigM machine(s) and exit
 //! ```
 //!
 //! With one query the tool runs the single-query [`Engine`]; with several
 //! it runs the [`MultiEngine`] — one parse, one document driver, k TwigM
 //! machines behind the interned-name dispatch index — and prefixes every
-//! line with the originating query's index.
+//! line with the originating query's index. `--shards N` (N > 1) routes
+//! any run through the [`ShardedEngine`]: same output, same order,
+//! machines partitioned across N worker threads.
 
 use std::fs::File;
 use std::io::{self, BufReader, Read, Write};
 use std::process::ExitCode;
 
-use vitex_core::{DispatchMode, Engine, EvalMode, Match, MatchKind, MultiEngine, PlanMode};
+use vitex_core::{
+    DispatchMode, Engine, EvalMode, Match, MatchKind, MultiOutput, PlanMode, ShardedEngine,
+};
 use vitex_xmlsax::XmlReader;
 use vitex_xpath::QueryTree;
 
@@ -38,13 +43,14 @@ struct Options {
     eager: bool,
     scan_dispatch: bool,
     no_plan_sharing: bool,
+    shards: usize,
     machine: bool,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: vitex [--count] [--values] [--stats] [--eager] [--scan-dispatch]\n\
-         \x20            [--no-plan-sharing] [--machine] <QUERY> [FILE]\n\
+         \x20            [--no-plan-sharing] [--shards N] [--machine] <QUERY> [FILE]\n\
          \x20      vitex [OPTIONS] -e <QUERY> [-e <QUERY> ...] [FILE]\n\
          \n\
          Streams FILE (or stdin) through the TwigM machine(s) and prints every\n\
@@ -52,7 +58,8 @@ fn usage() -> ! {
          value comparisons) as soon as it is decidable. With multiple -e\n\
          queries the document is scanned once (pub/sub mode): structurally\n\
          identical queries share one machine (disable with --no-plan-sharing)\n\
-         and every line is prefixed with the query index.\n\
+         and every line is prefixed with the query index. --shards N runs the\n\
+         machines on N worker threads with identical, deterministic output.\n\
          \n\
          examples:\n\
          \x20 vitex '//ProteinEntry[reference]/@id' protein.xml\n\
@@ -74,6 +81,7 @@ fn parse_args() -> Options {
         eager: false,
         scan_dispatch: false,
         no_plan_sharing: false,
+        shards: 1,
         machine: false,
     };
     let mut args = std::env::args().skip(1);
@@ -89,6 +97,10 @@ fn parse_args() -> Options {
             "--eager" => opts.eager = true,
             "--scan-dispatch" => opts.scan_dispatch = true,
             "--no-plan-sharing" => opts.no_plan_sharing = true,
+            "--shards" => match args.next().and_then(|n| n.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => opts.shards = n,
+                _ => usage(),
+            },
             "--machine" => opts.machine = true,
             "--help" | "-h" => usage(),
             _ if positional_query.is_none() && opts.queries.is_empty() => {
@@ -114,7 +126,9 @@ fn describe(m: &Match, values: bool) -> String {
             MatchKind::Element => {
                 format!("<{}> bytes {}", m.name.as_deref().unwrap_or("?"), m.span)
             }
-            MatchKind::Attribute | MatchKind::Text => m.value.clone().unwrap_or_default(),
+            MatchKind::Attribute | MatchKind::Text => {
+                m.value.as_deref().unwrap_or_default().to_owned()
+            }
         }
     } else {
         m.to_string()
@@ -225,11 +239,13 @@ fn run_single(opts: &Options, tree: &QueryTree) -> ExitCode {
     }
 }
 
-/// Pub/sub mode: all queries over one scan via the multi-engine.
+/// Pub/sub mode: all queries over one scan via the (optionally sharded)
+/// multi-engine. At `--shards 1` — the default — the sharded engine *is*
+/// the single-threaded `MultiEngine::run` path, bit for bit.
 fn run_multi(opts: &Options, trees: &[QueryTree]) -> ExitCode {
     let dispatch = if opts.scan_dispatch { DispatchMode::Scan } else { DispatchMode::Indexed };
     let plan = if opts.no_plan_sharing { PlanMode::Unshared } else { PlanMode::Shared };
-    let mut multi = MultiEngine::with_options(dispatch, plan);
+    let mut multi = ShardedEngine::with_options(opts.shards, dispatch, plan);
     for tree in trees {
         if let Err(e) = multi.add_tree(tree) {
             eprintln!("vitex: {e}");
@@ -242,27 +258,48 @@ fn run_multi(opts: &Options, trees: &[QueryTree]) -> ExitCode {
     };
     let stdout = io::stdout();
     let mut out = stdout.lock();
+    // A single query sharded across threads keeps the single-query output
+    // format: no `[i]` prefixes, bare --count total. `--shards N` must be
+    // a pure execution knob, never a format change.
+    let prefixed = trees.len() > 1;
     let mut counts = vec![0u64; trees.len()];
-    let result = multi.run(XmlReader::new(source), |qid, m| {
+    let result: Result<MultiOutput, _> = multi.run(XmlReader::new(source), |qid, m| {
         counts[qid.0] += 1;
         if !opts.count {
-            let _ = writeln!(out, "[{}] {}", qid.0, describe(&m, opts.values));
+            let line = describe(&m, opts.values);
+            let _ = if prefixed {
+                writeln!(out, "[{}] {line}", qid.0)
+            } else {
+                writeln!(out, "{line}")
+            };
         }
     });
     match result {
         Ok(output) => {
             if opts.count {
                 for (i, c) in counts.iter().enumerate() {
-                    println!("[{i}] {c}");
+                    if prefixed {
+                        println!("[{i}] {c}");
+                    } else {
+                        println!("{c}");
+                    }
                 }
             }
             if opts.stats {
                 eprintln!("elements:   {}", output.elements);
                 eprintln!("text nodes: {}", output.text_nodes);
                 eprintln!("events:     {}", output.events);
-                eprintln!("plan:       {}", output.plan.summary());
+                // The plan line is pub/sub-mode diagnostics; a single
+                // query keeps the single-query stats shape.
+                if prefixed {
+                    eprintln!("plan:       {}", output.plan.summary());
+                }
                 for (i, s) in output.stats.iter().enumerate() {
-                    eprintln!("machine[{i}]: {}", s.summary());
+                    if prefixed {
+                        eprintln!("machine[{i}]: {}", s.summary());
+                    } else {
+                        eprintln!("machine:    {}", s.summary());
+                    }
                 }
             }
             if counts.iter().any(|&c| c > 0) {
@@ -287,11 +324,11 @@ fn main() -> ExitCode {
     if opts.machine {
         return dump_machines(&trees);
     }
-    if trees.len() == 1 {
+    if trees.len() == 1 && opts.shards == 1 {
         run_single(&opts, &trees[0])
     } else {
         if opts.eager {
-            eprintln!("vitex: --eager applies to single-query runs only");
+            eprintln!("vitex: --eager applies to single-query single-shard runs only");
             return ExitCode::from(2);
         }
         run_multi(&opts, &trees)

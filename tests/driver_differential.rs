@@ -10,10 +10,15 @@
 //! dispatch index or the symbol plumbing.
 
 use vitex::baseline::{naive, NaiveConfig};
-use vitex::core::{DispatchMode, Engine, MultiEngine, PlanMode};
+use vitex::core::{DispatchMode, Engine, MultiEngine, PlanMode, ShardedEngine};
 use vitex::xmlgen::{protein, recursive};
 use vitex::xmlsax::XmlReader;
 use vitex::xpath::QueryTree;
+
+/// Shard counts the sharded battery runs at: the single-threaded
+/// delegation path, even splits, and a count that leaves shards with
+/// uneven group subsets.
+const SHARD_COUNTS: &[usize] = &[1, 2, 4, 7];
 
 /// Queries with meaningful hits on both document families, mixing names,
 /// wildcards, predicates and special results.
@@ -247,6 +252,119 @@ fn incremental_add_and_remove_matches_fresh_registration() {
     }
     assert_eq!(out.plan.queries, 2);
     assert_eq!(out.plan.groups, 2);
+}
+
+#[test]
+fn sharded_battery_is_byte_identical_to_single_threaded() {
+    // The sharded engine's whole contract: for every shard count, every
+    // dispatch mode and every plan mode, the merged output — match
+    // payloads (spans/values/levels, not just node ids), per-query
+    // machine statistics, plan counters, stream counters AND the
+    // streamed callback sequence — equals the single-threaded engine's.
+    let xml = mixed_doc();
+    let queries: Vec<&str> = BATTERY.iter().chain(OVERLAP_SET).copied().collect();
+    for mode in [DispatchMode::Indexed, DispatchMode::Scan] {
+        for plan in [PlanMode::Shared, PlanMode::Unshared] {
+            let (reference, ref_streamed) = {
+                let mut multi = MultiEngine::with_options(mode, plan);
+                for q in &queries {
+                    multi.add_query(q).unwrap();
+                }
+                let mut streamed: Vec<(usize, u64)> = Vec::new();
+                let out = multi
+                    .run(XmlReader::from_str(&xml), |q, m| streamed.push((q.0, m.node)))
+                    .expect("reference run");
+                (out, streamed)
+            };
+            for &shards in SHARD_COUNTS {
+                let mut sharded = ShardedEngine::with_options(shards, mode, plan);
+                for q in &queries {
+                    sharded.add_query(q).unwrap();
+                }
+                let mut streamed: Vec<(usize, u64)> = Vec::new();
+                let out = sharded
+                    .run(XmlReader::from_str(&xml), |q, m| streamed.push((q.0, m.node)))
+                    .expect("sharded run");
+                let label = format!("{shards} shards under {mode:?}/{plan:?}");
+                assert_eq!(out.matches, reference.matches, "matches: {label}");
+                assert_eq!(streamed, ref_streamed, "callback sequence: {label}");
+                assert_eq!(out.stats, reference.stats, "machine stats: {label}");
+                assert_eq!(out.plan, reference.plan, "plan stats: {label}");
+                assert_eq!(
+                    (out.elements, out.text_nodes, out.events),
+                    (reference.elements, reference.text_nodes, reference.events),
+                    "stream stats: {label}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn sharded_sessions_survive_churn_and_back_to_back_documents() {
+    // A long-lived pub/sub session: register, stream a document
+    // collection through one warm session, churn subscriptions (removals
+    // retire groups whose slots the planner recycles), open a new session
+    // — at every step the output must equal a single-threaded engine
+    // driven identically.
+    let docs = [
+        mixed_doc(),
+        recursive::to_string(&recursive::RecursiveConfig::square(7)),
+        protein::to_string(&protein::ProteinConfig { target_bytes: 15_000, ..Default::default() }),
+    ];
+    for &shards in SHARD_COUNTS {
+        let mut reference = MultiEngine::new();
+        let mut sharded = ShardedEngine::new(shards);
+        for q in OVERLAP_SET {
+            reference.add_query(q).unwrap();
+            sharded.add_query(q).unwrap();
+        }
+        // Session 1: the whole collection, back-to-back, no re-planning.
+        let outs = sharded
+            .session(|session| {
+                docs.iter()
+                    .map(|xml| session.run_document(XmlReader::from_str(xml), |_, _| {}))
+                    .collect::<Result<Vec<_>, _>>()
+            })
+            .expect("sharded session");
+        for (xml, out) in docs.iter().zip(&outs) {
+            let ref_out = reference.run(XmlReader::from_str(xml), |_, _| {}).unwrap();
+            assert_eq!(out.matches, ref_out.matches, "{shards} shards, session 1");
+            assert_eq!(out.stats, ref_out.stats, "{shards} shards, session 1");
+            assert_eq!(out.plan, ref_out.plan, "{shards} shards, session 1");
+        }
+        // Churn: drop a duplicate, retire a group, add a new shape.
+        for engine_step in [true, false] {
+            let (r1, r2, r3);
+            if engine_step {
+                r1 = reference.remove_query(vitex::core::QueryId(0));
+                r2 = reference.remove_query(vitex::core::QueryId(5));
+                r3 = reference.add_query("//listitem/text()").unwrap();
+            } else {
+                r1 = sharded.remove_query(vitex::core::QueryId(0));
+                r2 = sharded.remove_query(vitex::core::QueryId(5));
+                r3 = sharded.add_query("//listitem/text()").unwrap();
+            }
+            assert_eq!(r1, Some(false), "query 0 duplicates query 1");
+            assert_eq!(r2, Some(true), "query 5 was its group's only subscriber");
+            assert_eq!(r3.0, OVERLAP_SET.len());
+        }
+        // Session 2: the rebalanced partition over the churned plan.
+        let outs = sharded
+            .session(|session| {
+                docs.iter()
+                    .map(|xml| session.run_document(XmlReader::from_str(xml), |_, _| {}))
+                    .collect::<Result<Vec<_>, _>>()
+            })
+            .expect("sharded session after churn");
+        for (xml, out) in docs.iter().zip(&outs) {
+            let ref_out = reference.run(XmlReader::from_str(xml), |_, _| {}).unwrap();
+            assert_eq!(out.matches, ref_out.matches, "{shards} shards, session 2");
+            assert_eq!(out.stats, ref_out.stats, "{shards} shards, session 2");
+            assert_eq!(out.plan, ref_out.plan, "{shards} shards, session 2");
+            assert!(out.plan.recycled_slots > 0, "churn recycled a group slot");
+        }
+    }
 }
 
 #[test]
