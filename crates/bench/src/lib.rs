@@ -189,6 +189,33 @@ pub mod multiquery {
             })
             .collect()
     }
+
+    /// `k` **region-pinned** distinct subscriptions for the prefix-shared
+    /// regime (experiment E11): subscriber `i` watches one region's items
+    /// for *their* item id —
+    /// `/site/regions/{region}/item[@id = 'itemI']/{field}`. The
+    /// distinguishing predicate is an **inline attribute test** (it folds
+    /// into the `item` machine node — no predicate-subtree steps), so the
+    /// whole per-event planning surface is the main path the trie shares:
+    /// an `<item>` or `<name>` event in the *wrong* region fails one trie
+    /// check instead of `k / 6` per-group checks. This isolates what
+    /// prefix sharing accelerates; `distinct_overlapping_queries` keeps
+    /// measuring the mixed predicate-fork regime.
+    pub fn region_pinned_queries(k: usize) -> Vec<String> {
+        const REGIONS: [&str; 6] =
+            ["africa", "asia", "australia", "europe", "namerica", "samerica"];
+        const FIELDS: [&str; 4] = ["name", "quantity", "payment", "description"];
+        (0..k)
+            .map(|i| {
+                format!(
+                    "/site/regions/{}/item[@id = 'item{}']/{}",
+                    REGIONS[i % REGIONS.len()],
+                    i,
+                    FIELDS[(i / REGIONS.len()) % FIELDS.len()],
+                )
+            })
+            .collect()
+    }
 }
 
 #[cfg(test)]

@@ -43,7 +43,11 @@
 //! * [`plan::QueryPlanner`] — the shared-prefix query planner behind
 //!   `MultiEngine`: canonicalizes queries, dedupes structural duplicates
 //!   into one machine with a subscriber fan-out list, and tries main-path
-//!   steps so overlapping subscriptions share plan structure.
+//!   steps so overlapping subscriptions share plan structure. Under
+//!   [`plan::PlanMode::PrefixShared`] the trie also *executes*: its nodes
+//!   own the shared main-path match state, advanced once per event, so
+//!   per-event planning scales with distinct steps instead of with the
+//!   number of standing queries.
 //! * [`driver::DocumentDriver`] — the single SAX event loop (node
 //!   numbering, counting, symbol resolution) behind both engines; custom
 //!   consumers implement [`driver::EventSink`].

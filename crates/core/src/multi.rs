@@ -18,6 +18,12 @@
 //! how much structure the plan collapsed ([`MultiOutput::plan`]).
 //! [`PlanMode::Unshared`] (`vitex --no-plan-sharing`) restores the old
 //! one-machine-per-registration behavior bit for bit.
+//! [`PlanMode::PrefixShared`] (`vitex --prefix-sharing`) goes the other
+//! way: the trie becomes a *runtime* structure (see [`crate::plan::trie`])
+//! whose nodes own the shared main-path match state, advanced once per
+//! event by the dedicated `PrefixSink` below — per-group element dispatch
+//! then narrows to predicate-subtree names, and a frame stack pairs each
+//! end tag with exactly the machines its start tag pushed.
 //!
 //! ## Dispatch
 //!
@@ -150,6 +156,44 @@ impl DispatchIndex {
         }
     }
 
+    /// Splices a group in with **predicate-only** element interests: under
+    /// prefix-shared execution the main path is driven once per event by
+    /// the plan trie, so the per-group element dispatch narrows to the
+    /// names its predicate subtrees test (text interest is unchanged — a
+    /// `characters` event never pushes entries, so there is no trie work
+    /// to share for it).
+    pub(crate) fn add_group_prefix(&mut self, gid: usize, spec: &MachineSpec, nsymbols: usize) {
+        if self.by_symbol.len() < nsymbols {
+            self.by_symbol.resize(nsymbols, DynBitSet::new());
+        }
+        if !spec.pred_wildcards.is_empty() {
+            self.wildcard.insert(gid);
+        } else {
+            for &sym in &spec.pred_name_symbols {
+                self.by_symbol[sym.index()].insert(gid);
+            }
+        }
+        if spec.needs_characters() {
+            self.text.insert(gid);
+        }
+    }
+
+    /// The inverse of [`DispatchIndex::add_group_prefix`].
+    fn remove_group_prefix(&mut self, gid: usize, spec: &MachineSpec) {
+        if !spec.pred_wildcards.is_empty() {
+            self.wildcard.remove(gid);
+        } else {
+            for &sym in &spec.pred_name_symbols {
+                if let Some(set) = self.by_symbol.get_mut(sym.index()) {
+                    set.remove(gid);
+                }
+            }
+        }
+        if spec.needs_characters() {
+            self.text.remove(gid);
+        }
+    }
+
     /// Calls `f` for every group interested in an element with symbol
     /// `sym` (named groups ∪ wildcard groups).
     #[inline]
@@ -193,6 +237,10 @@ pub struct MultiEngine {
     driver: DocumentDriver,
     mode: DispatchMode,
     index: DispatchIndex,
+    /// Predicate-only dispatch index, maintained alongside `index` under
+    /// [`PlanMode::PrefixShared`] (the main path dispatches through the
+    /// plan trie instead); `None` in the other plan modes.
+    pred_index: Option<DispatchIndex>,
 }
 
 /// One registration's bookkeeping.
@@ -227,6 +275,7 @@ impl MultiEngine {
             driver: DocumentDriver::new(),
             mode,
             index: DispatchIndex::default(),
+            pred_index: (plan == PlanMode::PrefixShared).then(DispatchIndex::default),
         }
     }
 
@@ -264,6 +313,9 @@ impl MultiEngine {
             // is read-only and the index is disjoint from the planner.
             let nsymbols = self.interner.len();
             self.index.add_group(reg.group, spec, nsymbols);
+            if let Some(pred) = &mut self.pred_index {
+                pred.add_group_prefix(reg.group, spec, nsymbols);
+            }
         }
         self.records.push(QueryRecord { text: tree.original().to_owned(), group: Some(reg.group) });
         Ok(id)
@@ -282,6 +334,9 @@ impl MultiEngine {
         if last {
             let spec = self.planner.group(gid).machine().spec();
             self.index.remove_group(gid, spec);
+            if let Some(pred) = &mut self.pred_index {
+                pred.remove_group_prefix(gid, spec);
+            }
         }
         Some(last)
     }
@@ -344,7 +399,28 @@ impl MultiEngine {
             }
         }
         let mut matches: Vec<Vec<Match>> = self.records.iter().map(|_| Vec::new()).collect();
-        let stream = {
+        let stream = if self.planner.mode() == PlanMode::PrefixShared {
+            let pred = (self.mode == DispatchMode::Indexed)
+                .then(|| self.pred_index.as_ref().expect("prefix mode maintains a pred index"));
+            let (trie, groups) = self.planner.run_split();
+            trie.begin_document();
+            let mut sink = PrefixSink {
+                trie,
+                groups,
+                interner: &self.interner,
+                pred,
+                matches: &mut matches,
+                on_match,
+                pushed: Vec::new(),
+                plans: Vec::new(),
+                pred_gids: Vec::new(),
+                main_scratch: Vec::new(),
+                frame_gids: Vec::new(),
+                frame_nodes: Vec::new(),
+                frames: Vec::new(),
+            };
+            self.driver.run(reader, &mut sink)?
+        } else {
             let mut sink = MultiSink {
                 groups: self.planner.groups_mut(),
                 interner: &self.interner,
@@ -502,6 +578,194 @@ impl<F: FnMut(QueryId, Match)> EventSink for MultiSink<'_, F> {
             Some(index) => index.for_each_element_target(sym, |gi| touch(self, gi)),
             None => (0..self.groups.len()).for_each(|gi| touch(self, gi)),
         }
+    }
+}
+
+/// Merge-walks one event's trie-planned main pushes (`plans`: `(slot,
+/// machine node, ptr)`, sorted ascending) against its predicate dispatch
+/// targets (`pred_targets`: slots, ascending) in ascending slot order —
+/// the group visit order indexed dispatch uses, so emission interleaving
+/// cannot differ between the modes. `touch` drives one group's machine
+/// and returns its push count; slots that pushed are appended to `frame`
+/// for the matching end tag. This is the **one** prefix merge-walk in
+/// the system — the single-threaded [`PrefixSink`] keys it by group id,
+/// the shard workers by local slot, which is what keeps sharded
+/// prefix-shared delivery identical to single-threaded by construction.
+pub(crate) fn merge_prefix_targets(
+    plans: &[(u32, u32, u32)],
+    pred_targets: &[u32],
+    main_scratch: &mut Vec<(u32, u32)>,
+    frame: &mut Vec<u32>,
+    mut touch: impl FnMut(u32, &[(u32, u32)], bool) -> u32,
+) {
+    let (mut pi, mut di) = (0usize, 0usize);
+    while pi < plans.len() || di < pred_targets.len() {
+        let pg = plans.get(pi).map(|&(s, _, _)| s);
+        let dg = pred_targets.get(di).copied();
+        let slot = match (pg, dg) {
+            (Some(a), Some(b)) => a.min(b),
+            (Some(a), None) => a,
+            (None, Some(b)) => b,
+            (None, None) => unreachable!(),
+        };
+        main_scratch.clear();
+        while let Some(&(s, mnode, ptr)) = plans.get(pi) {
+            if s != slot {
+                break;
+            }
+            main_scratch.push((mnode, ptr));
+            pi += 1;
+        }
+        let plan_preds = dg == Some(slot);
+        if plan_preds {
+            di += 1;
+        }
+        if touch(slot, main_scratch, plan_preds) > 0 {
+            frame.push(slot);
+        }
+    }
+}
+
+/// The prefix-shared [`EventSink`]: a start tag advances the plan trie
+/// **once** — one axis/name witness check per distinct trie node, however
+/// many groups share the step — then forks into per-group machines only
+/// where something actually happens: a main-path push decided by the trie,
+/// or a predicate-subtree step testing the event's name. Machines that
+/// pushed are recorded on a frame stack so the matching end tag touches
+/// exactly them (an untouched machine has nothing to pop and would have
+/// been a statistics-neutral no-op in the other modes, which is what keeps
+/// output and machine statistics byte-identical across plan modes).
+struct PrefixSink<'a, F: FnMut(QueryId, Match)> {
+    trie: &'a mut crate::plan::StepTrie,
+    groups: &'a mut [PlanGroup],
+    interner: &'a Interner,
+    /// `Some` in indexed mode (predicate-only interests), `None` in scan
+    /// mode (every active group plans its predicate steps every event).
+    pred: Option<&'a DispatchIndex>,
+    matches: &'a mut [Vec<Match>],
+    on_match: F,
+    /// Scratch: trie pushes of the current event.
+    pushed: Vec<crate::plan::TriePush>,
+    /// Scratch: per-group main-path plans, `(gid, machine node, ptr)`.
+    plans: Vec<(u32, u32, u32)>,
+    /// Scratch: groups with predicate interest in the current event.
+    pred_gids: Vec<u32>,
+    /// Scratch: one group's main plan in machine form.
+    main_scratch: Vec<(u32, u32)>,
+    /// Flat frame storage: groups that pushed, per open element.
+    frame_gids: Vec<u32>,
+    /// Flat frame storage: trie nodes that pushed, per open element.
+    frame_nodes: Vec<u32>,
+    /// One `(frame_gids offset, frame_nodes offset)` per open element.
+    frames: Vec<(u32, u32)>,
+}
+
+impl<F: FnMut(QueryId, Match)> EventSink for PrefixSink<'_, F> {
+    fn resolve(&mut self, name: &str) -> Option<Symbol> {
+        self.interner.lookup(name)
+    }
+
+    fn start_element(
+        &mut self,
+        sym: Option<Symbol>,
+        event: &StartElementEvent,
+        node_id: NodeId,
+        attr_id_base: NodeId,
+    ) {
+        let Self {
+            trie,
+            groups,
+            pred,
+            matches,
+            on_match,
+            pushed,
+            plans,
+            pred_gids,
+            main_scratch,
+            frame_gids,
+            frame_nodes,
+            frames,
+            ..
+        } = self;
+        pushed.clear();
+        trie.advance(sym, event.level, pushed);
+        // Expand trie pushes into per-group plans, ascending (gid, node).
+        plans.clear();
+        for p in pushed.iter() {
+            let depth0 = (p.depth - 1) as usize;
+            for &gid in trie.routed(p.node as usize) {
+                plans.push((gid, groups[gid as usize].main_nodes()[depth0], p.ptr));
+            }
+        }
+        plans.sort_unstable();
+        // Groups whose predicate subtrees test this name (every active
+        // group in scan mode).
+        pred_gids.clear();
+        match pred {
+            Some(index) => index.for_each_element_target(sym, |gi| pred_gids.push(gi as u32)),
+            None => pred_gids.extend(
+                groups.iter().enumerate().filter(|(_, g)| g.is_active()).map(|(gi, _)| gi as u32),
+            ),
+        }
+        // Frame bookkeeping for the matching end tag.
+        frames.push((frame_gids.len() as u32, frame_nodes.len() as u32));
+        frame_nodes.extend(pushed.iter().map(|p| p.node));
+        merge_prefix_targets(plans, pred_gids, main_scratch, frame_gids, |gid, main, preds| {
+            let group = &mut groups[gid as usize];
+            if !group.is_active() {
+                return 0;
+            }
+            let (machine, subscribers) = group.machine_and_subscribers();
+            machine.start_element_prefix(
+                main,
+                preds,
+                sym,
+                event.name.as_str(),
+                event.level,
+                &event.attributes,
+                node_id,
+                attr_id_base,
+                event.span,
+                &mut |hit| fan_out_match(subscribers, matches, on_match, hit),
+            )
+        });
+    }
+
+    fn characters(&mut self, event: &CharactersEvent, node_id: NodeId) {
+        let Self { groups, pred, matches, on_match, .. } = self;
+        let ngroups = groups.len();
+        let mut touch = |gi: usize| {
+            let group = &mut groups[gi];
+            if !group.is_active() {
+                return;
+            }
+            let (machine, subscribers) = group.machine_and_subscribers();
+            machine.characters(&event.text, event.level, node_id, event.span, &mut |hit| {
+                fan_out_match(subscribers, matches, on_match, hit)
+            });
+        };
+        match pred {
+            Some(index) => index.for_each_text_target(&mut touch),
+            None => (0..ngroups).for_each(touch),
+        }
+    }
+
+    fn end_element(&mut self, _sym: Option<Symbol>, event: &EndElementEvent) {
+        let (gid_base, node_base) = self.frames.pop().expect("events nest");
+        for i in gid_base as usize..self.frame_gids.len() {
+            let gid = self.frame_gids[i] as usize;
+            let group = &mut self.groups[gid];
+            let (machine, subscribers) = group.machine_and_subscribers();
+            let (matches, on_match) = (&mut *self.matches, &mut self.on_match);
+            machine.end_element(event.name.as_str(), event.level, event.element_span, &mut |hit| {
+                fan_out_match(subscribers, matches, on_match, hit)
+            });
+        }
+        self.frame_gids.truncate(gid_base as usize);
+        for i in node_base as usize..self.frame_nodes.len() {
+            self.trie.retreat_one(self.frame_nodes[i], event.level);
+        }
+        self.frame_nodes.truncate(node_base as usize);
     }
 }
 
@@ -667,6 +931,59 @@ mod tests {
         assert_eq!(out.plan.queries, 3);
         assert_eq!(out.plan.groups, 2);
         assert_eq!(out.plan.dedup_ratio(), 1.5);
+    }
+
+    #[test]
+    fn prefix_shared_mode_matches_and_counts() {
+        // /a/b and /a/c share the /a trie node; //x[y] forks on its
+        // predicate. Results must equal shared mode, and the prefix
+        // counters must show the runtime trie at work.
+        let xml = "<a><b/><c/><x><y/></x><b/></a>";
+        let queries = ["/a/b", "/a/c", "//x[y]", "/a/b"];
+        let run = |plan: PlanMode, dispatch: DispatchMode| {
+            let mut multi = MultiEngine::with_options(dispatch, plan);
+            for q in queries {
+                multi.add_query(q).unwrap();
+            }
+            let mut streamed = Vec::new();
+            let out =
+                multi.run(XmlReader::from_str(xml), |q, m| streamed.push((q.0, m.node))).unwrap();
+            (out, streamed)
+        };
+        for dispatch in [DispatchMode::Indexed, DispatchMode::Scan] {
+            let (prefix, p_streamed) = run(PlanMode::PrefixShared, dispatch);
+            let (shared, s_streamed) = run(PlanMode::Shared, dispatch);
+            assert_eq!(prefix.matches, shared.matches, "{dispatch:?}");
+            assert_eq!(prefix.stats, shared.stats, "{dispatch:?}");
+            assert_eq!(p_streamed, s_streamed, "{dispatch:?}");
+            assert!(prefix.plan.prefix_steps_executed > 0);
+            assert!(prefix.plan.prefix_steps_saved > 0, "/a is shared by two groups");
+            assert!(prefix.plan.prefix_forks > 0);
+            assert!(prefix.plan.prefix_stack_bytes > 0);
+            assert_eq!(shared.plan.prefix_steps_executed, 0);
+        }
+        // Dedup still applies: the duplicate /a/b joined a group.
+        let (prefix, _) = run(PlanMode::PrefixShared, DispatchMode::Indexed);
+        assert_eq!(prefix.plan.queries, 4);
+        assert_eq!(prefix.plan.groups, 3);
+    }
+
+    #[test]
+    fn prefix_shared_mode_survives_churn_between_runs() {
+        let mut multi = MultiEngine::with_options(DispatchMode::Indexed, PlanMode::PrefixShared);
+        let qa = multi.add_query("/a/b").unwrap();
+        let qb = multi.add_query("/a/c").unwrap();
+        let xml = "<a><b/><c/></a>";
+        let out = multi.run(XmlReader::from_str(xml), |_, _| {}).unwrap();
+        assert_eq!(out.matches[qa.0].len(), 1);
+        assert_eq!(out.matches[qb.0].len(), 1);
+        assert_eq!(multi.remove_query(qa), Some(true));
+        let qd = multi.add_query("//b").unwrap();
+        let out = multi.run(XmlReader::from_str(xml), |_, _| {}).unwrap();
+        assert!(out.matches[qa.0].is_empty(), "retired group stays silent");
+        assert_eq!(out.matches[qb.0].len(), 1);
+        assert_eq!(out.matches[qd.0].len(), 1);
+        assert_eq!(out.plan.recycled_slots, 1, "//b recycled /a/b's slot");
     }
 
     #[test]

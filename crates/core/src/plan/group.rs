@@ -23,6 +23,10 @@ pub struct PlanGroup {
     hash: u64,
     /// Terminal node of the group's main path in the planner's step trie.
     trie_node: usize,
+    /// Machine-node index of each main-path element step, in step order —
+    /// position `d` is the node trie depth `d + 1` drives under
+    /// prefix-shared execution.
+    main_nodes: Vec<u32>,
 }
 
 impl PlanGroup {
@@ -34,7 +38,15 @@ impl PlanGroup {
         trie_node: usize,
         first: QueryId,
     ) -> Self {
-        PlanGroup { machine, subscribers: vec![first], canonical, hash, trie_node }
+        let main_nodes = machine
+            .spec()
+            .nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.is_main)
+            .map(|(i, _)| i as u32)
+            .collect();
+        PlanGroup { machine, subscribers: vec![first], canonical, hash, trie_node, main_nodes }
     }
 
     /// The shared machine.
@@ -79,6 +91,11 @@ impl PlanGroup {
         self.trie_node
     }
 
+    /// Machine-node index per main-path step (trie depth − 1 indexes it).
+    pub(crate) fn main_nodes(&self) -> &[u32] {
+        &self.main_nodes
+    }
+
     /// Adds a subscriber (idempotence is the caller's concern: every
     /// registration gets a fresh [`QueryId`]).
     pub(crate) fn subscribe(&mut self, id: QueryId) {
@@ -100,6 +117,7 @@ impl PlanGroup {
     pub fn approx_bytes(&self) -> u64 {
         self.machine.approx_build_bytes()
             + (self.subscribers.capacity() * std::mem::size_of::<QueryId>()) as u64
+            + (self.main_nodes.capacity() * std::mem::size_of::<u32>()) as u64
             + self.canonical.len() as u64
     }
 }

@@ -21,16 +21,23 @@
 //!    as the measurement substrate for [`PlanStats`] (shared-node counts,
 //!    dedup ratio).
 //!
+//! [`PlanMode::PrefixShared`] (`vitex --prefix-sharing`) adds a third
+//! layer on top: the step trie is promoted from a registration-time index
+//! into a **runtime** structure whose nodes own the shared main-path
+//! match state (see [`trie`]), so a start tag advances each common prefix
+//! once per event and only forks into per-group machines where queries
+//! diverge — predicates, branches, suffix steps.
+//!
 //! [`PlanMode::Unshared`] (`vitex --no-plan-sharing`) disables layer 1:
 //! every registration gets a private group, reproducing the historical
 //! one-machine-per-query behavior bit for bit. The trie is still
-//! maintained so the two modes report comparable plan statistics.
+//! maintained so the modes report comparable plan statistics.
 
 pub mod group;
 pub mod trie;
 
 pub use group::PlanGroup;
-pub use trie::{StepKey, StepTrie};
+pub use trie::{PrefixRunStats, StepKey, StepTrie, TriePush};
 
 use vitex_xpath::query_tree::{NodeKind, QueryTree};
 
@@ -40,7 +47,9 @@ use crate::machine::TwigM;
 use crate::result::QueryId;
 use crate::stats::PlanStats;
 
-/// Whether structurally equal queries share one machine.
+/// Whether structurally equal queries share one machine — and whether
+/// distinct queries additionally share runtime state along common
+/// main-path prefixes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum PlanMode {
     /// Canonicalize, dedupe and fan out — the default.
@@ -49,6 +58,13 @@ pub enum PlanMode {
     /// One private machine per registration (the pre-planner behavior,
     /// kept as an escape hatch and ablation baseline).
     Unshared,
+    /// Everything `Shared` does, plus YFilter-style prefix-shared
+    /// execution: the step trie owns the main-path match state at
+    /// runtime, so a start tag advances each shared prefix once and only
+    /// forks into per-group machines where queries diverge. Output is
+    /// byte-identical to the other modes; only the per-event planning
+    /// cost changes.
+    PrefixShared,
 }
 
 /// The outcome of registering one query with the planner.
@@ -114,7 +130,7 @@ impl QueryPlanner {
         let terminal = self.trie.insert_path(&steps);
         let canonical = tree.canonical_key();
         let hash = QueryTree::hash_canonical(&canonical);
-        if self.mode == PlanMode::Shared {
+        if self.mode != PlanMode::Unshared {
             let existing = self.trie.terminals(terminal).iter().copied().find(|&g| {
                 let group = &self.groups[g];
                 group.is_active()
@@ -179,6 +195,18 @@ impl QueryPlanner {
         &mut self.groups
     }
 
+    /// The shared step trie (read-only).
+    pub fn trie(&self) -> &StepTrie {
+        &self.trie
+    }
+
+    /// Splits the planner into the disjoint borrows prefix-shared
+    /// execution needs: the runtime trie is advanced once per event while
+    /// the group machines are driven from its push decisions.
+    pub(crate) fn run_split(&mut self) -> (&mut StepTrie, &mut [PlanGroup]) {
+        (&mut self.trie, &mut self.groups)
+    }
+
     /// One group by index.
     pub fn group(&self, gid: usize) -> &PlanGroup {
         &self.groups[gid]
@@ -203,6 +231,7 @@ impl QueryPlanner {
             machine_nodes += g.machine().spec().len() as u64;
             plan_bytes += g.approx_bytes();
         }
+        let run = self.trie.run_stats();
         PlanStats {
             queries: self.active_queries as u64,
             groups: self.active_groups as u64,
@@ -211,6 +240,10 @@ impl QueryPlanner {
             trie_nodes: self.trie.len() as u64,
             shared_trie_nodes: self.trie.shared_nodes() as u64,
             plan_bytes: plan_bytes + self.trie.approx_bytes() + interner.heap_bytes(),
+            prefix_steps_executed: run.steps_executed,
+            prefix_steps_saved: run.steps_saved,
+            prefix_forks: run.forks,
+            prefix_stack_bytes: run.peak_stack_bytes(),
         }
     }
 

@@ -1,5 +1,7 @@
 //! The shared-prefix **step trie**: one node per distinct location-step
-//! prefix across every registered query.
+//! prefix across every registered query — and, under
+//! [`crate::plan::PlanMode::PrefixShared`], the *runtime* owner of the
+//! main-path match state those steps share.
 //!
 //! Thousands of realistic standing queries overlap heavily — `/site/…`
 //! subscriptions in an auction feed, `//ProteinEntry/…` in the protein
@@ -11,6 +13,25 @@
 //! incoming query walks symbols (integer comparisons, no hashing of the
 //! whole query) and only then compares canonical keys against the few
 //! groups at its terminal.
+//!
+//! ## Runtime state (prefix-shared execution)
+//!
+//! The key observation behind prefix sharing is that a TwigM main-path
+//! node's **stack shape** — which entries exist, at what level, with what
+//! parent pointer — depends *only* on the (axis, name) chain from the
+//! machine root, never on the group's predicates, comparisons or result
+//! kind (those live in the flags/candidates carried *on* the entries,
+//! which do not influence push/pop timing). Every group whose main path
+//! routes through a trie node therefore agrees, at every moment of the
+//! stream, on that node's stack. Under `PlanMode::PrefixShared` each trie
+//! node owns exactly one copy of that stack ([`TrieEntry`]: level +
+//! parent pointer), [`StepTrie::advance`] updates it **once per event**,
+//! and the engine forks into per-group machines only where state actually
+//! diverges — delivering the planned pushes so each group's entry carries
+//! its own flags and candidate bookkeeping. Per-event main-path planning
+//! thus scales with *distinct trie nodes*, not with the number of
+//! registered queries; [`PrefixRunStats`] counts both sides of that
+//! trade.
 
 use vitex_xpath::Axis;
 
@@ -25,19 +46,71 @@ pub struct StepKey {
     pub name: Option<Symbol>,
 }
 
+/// One entry of a trie node's shared runtime stack: the level of the
+/// open element it stands for. The parent-stack pointer a TwigM entry
+/// would also carry is not stored — it is derived from the parent's
+/// stack height at plan time and handed to the groups in the
+/// [`TriePush`], never read back.
+type TrieEntry = u32;
+
+/// A main-path push decided by [`StepTrie::advance`]: trie node, its step
+/// depth (1-based, so `depth - 1` indexes a group's main-path machine
+/// nodes) and the parent-stack pointer the new entry carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TriePush {
+    /// The trie node that pushed.
+    pub node: u32,
+    /// 1-based step depth of the node.
+    pub depth: u32,
+    /// Parent-stack pointer for the new entry.
+    pub ptr: u32,
+}
+
+/// Per-run counters of the shared-prefix runtime, reset by
+/// [`StepTrie::begin_document`] and surfaced through
+/// [`crate::stats::PlanStats`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PrefixRunStats {
+    /// Step checks executed against the trie (one per event × live node).
+    pub steps_executed: u64,
+    /// Per-group step checks avoided (`routes - 1` per executed check).
+    pub steps_saved: u64,
+    /// Per-group entry deliveries fanned out from trie pushes.
+    pub forks: u64,
+    /// Current live shared-stack entries.
+    pub live_entries: u64,
+    /// Peak of `live_entries`.
+    pub peak_entries: u64,
+}
+
+impl PrefixRunStats {
+    /// Peak bytes of the shared trie stacks.
+    pub fn peak_stack_bytes(&self) -> u64 {
+        self.peak_entries * std::mem::size_of::<TrieEntry>() as u64
+    }
+}
+
 #[derive(Debug)]
 struct TrieNode {
     /// Edge label from the parent (meaningless for the root).
     key: StepKey,
     /// Parent node; `None` for the root.
     parent: Option<usize>,
+    /// 1-based step depth (0 for the root).
+    depth: u32,
     /// Child node indices (small fan-out: linear scan beats hashing).
     children: Vec<usize>,
     /// Plan groups whose main path ends exactly here.
     terminals: Vec<usize>,
     /// Active plan groups whose main path passes through this node
-    /// (including those ending here).
-    routes: u32,
+    /// (including those ending here), **insertion order** — a recycled
+    /// low slot registered after higher ones re-enters at the tail, so
+    /// this is *not* sorted; consumers that need ascending-gid visit
+    /// order (the engine's merge-walk) sort the expanded plans.
+    routes: Vec<u32>,
+    /// The shared runtime stack (prefix-shared execution only; empty
+    /// between documents).
+    stack: Vec<TrieEntry>,
 }
 
 /// A trie over location-step paths, nodes addressed by dense indices.
@@ -45,6 +118,12 @@ struct TrieNode {
 pub struct StepTrie {
     /// `nodes[0]` is the root (no incoming edge).
     nodes: Vec<TrieNode>,
+    /// Symbol index → trie nodes whose step tests that name.
+    by_symbol: Vec<Vec<u32>>,
+    /// Trie nodes whose step is the wildcard `*`.
+    wildcards: Vec<u32>,
+    /// Runtime counters of the current (or last) document run.
+    run_stats: PrefixRunStats,
 }
 
 impl StepTrie {
@@ -54,16 +133,21 @@ impl StepTrie {
             nodes: vec![TrieNode {
                 key: StepKey { axis: Axis::Child, name: None },
                 parent: None,
+                depth: 0,
                 children: Vec::new(),
                 terminals: Vec::new(),
-                routes: 0,
+                routes: Vec::new(),
+                stack: Vec::new(),
             }],
+            by_symbol: Vec::new(),
+            wildcards: Vec::new(),
+            run_stats: PrefixRunStats::default(),
         }
     }
 
     /// Descends `steps` from the root, creating missing nodes, and returns
-    /// the terminal node's index. Does **not** change route counts — the
-    /// planner marks a route only when a path gains a distinct plan group.
+    /// the terminal node's index. Does **not** change routes — the planner
+    /// marks a route only when a path gains a distinct plan group.
     pub fn insert_path(&mut self, steps: &[StepKey]) -> usize {
         let mut cur = 0usize;
         for &step in steps {
@@ -71,14 +155,26 @@ impl StepTrie {
                 Some(&c) => c,
                 None => {
                     let id = self.nodes.len();
+                    let depth = self.nodes[cur].depth + 1;
                     self.nodes.push(TrieNode {
                         key: step,
                         parent: Some(cur),
+                        depth,
                         children: Vec::new(),
                         terminals: Vec::new(),
-                        routes: 0,
+                        routes: Vec::new(),
+                        stack: Vec::new(),
                     });
                     self.nodes[cur].children.push(id);
+                    match step.name {
+                        Some(sym) => {
+                            if self.by_symbol.len() <= sym.index() {
+                                self.by_symbol.resize(sym.index() + 1, Vec::new());
+                            }
+                            self.by_symbol[sym.index()].push(id as u32);
+                        }
+                        None => self.wildcards.push(id as u32),
+                    }
                     id
                 }
             };
@@ -91,31 +187,70 @@ impl StepTrie {
         &self.nodes[node].terminals
     }
 
-    /// Records `group` as terminating at `node` and increments route
-    /// counts from `node` up to the root.
+    /// Records `group` as terminating at `node` and routes it on every
+    /// node from `node` up to the root.
     pub fn add_group(&mut self, node: usize, group: usize) {
         self.nodes[node].terminals.push(group);
         let mut cur = Some(node);
         while let Some(i) = cur {
-            self.nodes[i].routes += 1;
+            if i != 0 {
+                self.nodes[i].routes.push(group as u32);
+            }
             cur = self.nodes[i].parent;
         }
     }
 
-    /// Unrecords `group` from `node` (the group went inactive) and
-    /// decrements route counts up to the root. Trie nodes are never
-    /// deleted; an empty suffix simply stops counting as shared.
+    /// Unrecords `group` from `node` (the group went inactive), splicing
+    /// it out of the route lists up to the root. Trie nodes are never
+    /// deleted; an empty suffix simply stops counting as shared — and,
+    /// with no routes left, [`StepTrie::advance`] stops touching its
+    /// runtime stack entirely.
     pub fn remove_group(&mut self, node: usize, group: usize) {
         let terminals = &mut self.nodes[node].terminals;
         if let Some(pos) = terminals.iter().position(|&g| g == group) {
             terminals.swap_remove(pos);
             let mut cur = Some(node);
             while let Some(i) = cur {
-                debug_assert!(self.nodes[i].routes > 0, "route underflow");
-                self.nodes[i].routes -= 1;
+                if i != 0 {
+                    let routes = &mut self.nodes[i].routes;
+                    let at = routes
+                        .iter()
+                        .position(|&g| g as usize == group)
+                        .expect("terminal group is routed on its whole path");
+                    routes.remove(at); // order-preserving (determinism, not sortedness)
+                }
                 cur = self.nodes[i].parent;
             }
         }
+    }
+
+    /// The active groups routed through `node`, ascending.
+    pub(crate) fn routed(&self, node: usize) -> &[u32] {
+        &self.nodes[node].routes
+    }
+
+    /// Number of active groups whose main path passes through `node`.
+    pub fn route_count(&self, node: usize) -> usize {
+        self.nodes[node].routes.len()
+    }
+
+    /// Whether `group` is routed anywhere in the trie (linear scan; meant
+    /// for tests asserting retired groups leave no orphan state behind).
+    pub fn is_routed(&self, group: usize) -> bool {
+        self.nodes.iter().any(|n| n.routes.iter().any(|&g| g as usize == group))
+    }
+
+    /// The node ids on the root→`node` path (root excluded), in step
+    /// order — position `i` is the node at depth `i + 1`.
+    pub(crate) fn path_of(&self, node: usize) -> Vec<u32> {
+        let mut path = Vec::with_capacity(self.nodes[node].depth as usize);
+        let mut cur = node;
+        while let Some(p) = self.nodes[cur].parent {
+            path.push(cur as u32);
+            cur = p;
+        }
+        path.reverse();
+        path
     }
 
     /// Number of step nodes (the root does not count: it is not a step).
@@ -131,17 +266,115 @@ impl StepTrie {
     /// Step nodes on the main path of **more than one** active plan group
     /// — the prefix structure the trie shares instead of duplicating.
     pub fn shared_nodes(&self) -> usize {
-        self.nodes.iter().skip(1).filter(|n| n.routes >= 2).count()
+        self.nodes.iter().skip(1).filter(|n| n.routes.len() >= 2).count()
     }
 
-    /// Approximate heap bytes of the trie.
+    /// Approximate heap bytes of the trie's *plan* structure. Runtime
+    /// stack capacity is deliberately excluded: it varies over a run, and
+    /// plan statistics must be identical whether they are snapshotted
+    /// before a sharded session or after a single-threaded run — the
+    /// runtime side is reported separately as
+    /// [`PrefixRunStats::peak_stack_bytes`].
     pub fn approx_bytes(&self) -> u64 {
         use std::mem::size_of;
         let mut bytes = self.nodes.capacity() * size_of::<TrieNode>();
         for n in &self.nodes {
             bytes += (n.children.capacity() + n.terminals.capacity()) * size_of::<usize>();
+            bytes += n.routes.capacity() * size_of::<u32>();
         }
+        for list in &self.by_symbol {
+            bytes += size_of::<Vec<u32>>() + list.capacity() * size_of::<u32>();
+        }
+        bytes += self.wildcards.capacity() * size_of::<u32>();
         bytes as u64
+    }
+
+    // ------------------------------------------------------------- //
+    // Runtime (prefix-shared execution)
+    // ------------------------------------------------------------- //
+
+    /// Clears every shared stack and resets the run counters — called at
+    /// the start of each document run, mirroring the machines' resets.
+    pub fn begin_document(&mut self) {
+        for n in &mut self.nodes {
+            n.stack.clear();
+        }
+        self.run_stats = PrefixRunStats::default();
+    }
+
+    /// Counters of the current (or last completed) document run.
+    pub fn run_stats(&self) -> PrefixRunStats {
+        self.run_stats
+    }
+
+    /// Total live shared-stack entries (0 between well-formed documents).
+    pub fn live_entries(&self) -> usize {
+        self.nodes.iter().map(|n| n.stack.len()).sum()
+    }
+
+    /// A `startElement` against the shared stacks: checks every live trie
+    /// node whose step tests `sym` (plus the wildcard nodes) against its
+    /// parent's **pre-event** stack — exactly the TwigM push rule — then
+    /// applies the pushes and appends them to `pushed` for the engine to
+    /// fan out to the routed groups. One check per distinct trie node,
+    /// however many groups share it.
+    pub(crate) fn advance(&mut self, sym: Option<Symbol>, level: u32, pushed: &mut Vec<TriePush>) {
+        let base = pushed.len();
+        let named: &[u32] =
+            sym.and_then(|s| self.by_symbol.get(s.index())).map(Vec::as_slice).unwrap_or(&[]);
+        // Plan phase: decide every push against pre-event stacks. `named`
+        // and `wildcards` are disjoint and a node appears in each at most
+        // once, so no node is checked (or pushed) twice.
+        for list in [named, &self.wildcards] {
+            for &ni in list {
+                let node = &self.nodes[ni as usize];
+                let routes = node.routes.len();
+                if routes == 0 {
+                    continue; // stale path: every group on it retired
+                }
+                self.run_stats.steps_executed += 1;
+                self.run_stats.steps_saved += routes as u64 - 1;
+                let ptr = match node.parent {
+                    Some(0) | None => match node.key.axis {
+                        Axis::Child if level != 1 => continue,
+                        _ => 0, // ptr unused at the path root
+                    },
+                    Some(p) => {
+                        let pstack = &self.nodes[p].stack;
+                        match node.key.axis {
+                            Axis::Child => match pstack.last() {
+                                Some(&top) if top + 1 == level => pstack.len() as u32 - 1,
+                                _ => continue,
+                            },
+                            Axis::Descendant => {
+                                if pstack.is_empty() {
+                                    continue;
+                                }
+                                pstack.len() as u32 - 1
+                            }
+                        }
+                    }
+                };
+                pushed.push(TriePush { node: ni, depth: node.depth, ptr });
+            }
+        }
+        // Apply phase.
+        for p in &pushed[base..] {
+            let node = &mut self.nodes[p.node as usize];
+            self.run_stats.forks += node.routes.len() as u64;
+            node.stack.push(level);
+            self.run_stats.live_entries += 1;
+            self.run_stats.peak_entries =
+                self.run_stats.peak_entries.max(self.run_stats.live_entries);
+        }
+    }
+
+    /// Pops the top entry of `node`'s shared stack — the `endElement`
+    /// counterpart of a [`TriePush`] recorded at the matching start tag.
+    pub(crate) fn retreat_one(&mut self, node: u32, level: u32) {
+        let top = self.nodes[node as usize].stack.pop();
+        debug_assert_eq!(top, Some(level), "shared stacks pop in start-tag pairing order");
+        self.run_stats.live_entries -= 1;
     }
 }
 
@@ -174,6 +407,7 @@ mod tests {
         // Re-inserting an existing path allocates nothing.
         assert_eq!(t.insert_path(&ab), n_ab);
         assert_eq!(t.len(), 3);
+        assert_eq!(t.path_of(n_ab).len(), 2);
     }
 
     #[test]
@@ -209,9 +443,11 @@ mod tests {
         // /a now routes two groups; the b/c leaves route one each.
         assert_eq!(t.shared_nodes(), 1);
         assert_eq!(t.terminals(n_ab), &[0]);
+        assert!(t.is_routed(0) && t.is_routed(1));
         t.remove_group(n_ab, 0);
         assert_eq!(t.shared_nodes(), 0);
         assert!(t.terminals(n_ab).is_empty());
+        assert!(!t.is_routed(0), "retired group leaves no route behind");
         // Removing an unknown group is a no-op.
         t.remove_group(n_ab, 99);
         assert_eq!(t.shared_nodes(), 0);
@@ -223,5 +459,62 @@ mod tests {
         assert_eq!(t.insert_path(&[]), 0);
         assert!(t.is_empty());
         assert!(t.approx_bytes() > 0);
+    }
+
+    #[test]
+    fn advance_mirrors_machine_push_rules() {
+        let mut i = Interner::new();
+        let mut t = StepTrie::new();
+        // //a/b : descendant a, child b.
+        let path = [key(&mut i, Axis::Descendant, Some("a")), key(&mut i, Axis::Child, Some("b"))];
+        let n_b = t.insert_path(&path);
+        let n_a = t.path_of(n_b)[0] as usize;
+        t.add_group(n_b, 0);
+        let a = i.lookup("a");
+        let b = i.lookup("b");
+        t.begin_document();
+        let mut pushed = Vec::new();
+        // <a> at level 1: a pushes (descendant root), b has no witness.
+        t.advance(a, 1, &mut pushed);
+        assert_eq!(pushed, [TriePush { node: n_a as u32, depth: 1, ptr: 0 }]);
+        // <x> at level 2: nothing matches.
+        pushed.clear();
+        t.advance(None, 2, &mut pushed);
+        assert!(pushed.is_empty());
+        // <b> at level 2 inside <x>? No — b needs a as *direct* parent.
+        pushed.clear();
+        t.advance(b, 3, &mut pushed);
+        assert!(pushed.is_empty(), "child axis needs level + 1 witness");
+        // </x>, then <b> at level 2: direct child of the open a.
+        pushed.clear();
+        t.advance(b, 2, &mut pushed);
+        assert_eq!(pushed, [TriePush { node: n_b as u32, depth: 2, ptr: 0 }]);
+        t.retreat_one(n_b as u32, 2);
+        t.retreat_one(n_a as u32, 1);
+        assert_eq!(t.live_entries(), 0);
+        let stats = t.run_stats();
+        assert_eq!(stats.live_entries, 0);
+        assert_eq!(stats.peak_entries, 2);
+        // One check per advance that named a live node: <a>, <b>, <b>.
+        assert_eq!(stats.steps_executed, 3);
+        assert_eq!(stats.forks, 2, "each push forks to the single routed group");
+    }
+
+    #[test]
+    fn advance_skips_unrouted_nodes() {
+        let mut i = Interner::new();
+        let mut t = StepTrie::new();
+        let path = [key(&mut i, Axis::Descendant, Some("a"))];
+        let n_a = t.insert_path(&path);
+        let a = i.lookup("a");
+        t.begin_document();
+        let mut pushed = Vec::new();
+        t.advance(a, 1, &mut pushed);
+        assert!(pushed.is_empty(), "no routed group: the node is dormant");
+        assert_eq!(t.run_stats().steps_executed, 0);
+        t.add_group(n_a, 3);
+        t.advance(a, 1, &mut pushed);
+        assert_eq!(pushed.len(), 1);
+        assert_eq!(t.run_stats().steps_executed, 1);
     }
 }

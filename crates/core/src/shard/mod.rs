@@ -38,6 +38,7 @@
 pub(crate) mod merge;
 pub(crate) mod worker;
 
+use std::collections::HashMap;
 use std::io::Read;
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::Arc;
@@ -51,12 +52,12 @@ use crate::driver::EventSink;
 use crate::error::EngineResult;
 use crate::intern::{Interner, Symbol};
 use crate::multi::{DispatchMode, MultiEngine, MultiOutput};
-use crate::plan::{PlanGroup, PlanMode};
+use crate::plan::{PlanGroup, PlanMode, StepTrie, TriePush};
 use crate::result::{Match, NodeId, QueryId};
 use crate::stats::{MachineStats, PlanStats, StreamStats};
 
 use merge::{MatchMerger, TaggedMatch};
-use worker::{run_worker, EventBatch, Ring, ShardEvent, WorkerReport};
+use worker::{run_worker, EventBatch, PrefixMap, Ring, ShardEvent, WorkerReport};
 
 /// Events per broadcast batch: large enough to amortize ring locking and
 /// `Arc<[_]>` allocation, small enough to keep delivery incremental.
@@ -215,9 +216,36 @@ impl ShardedEngine {
                 shard_of[gid] = shard;
             }
         }
+
+        // Prefix-shared execution: the document thread advances the
+        // *global* plan trie once per event and ships the push decisions;
+        // each worker only needs a map from trie node to the main-path
+        // machine nodes of its own group subset. Walking the trie on the
+        // document thread (rather than per shard) is what keeps the
+        // prefix counters — and therefore the plan statistics — identical
+        // at every shard count.
+        let prefix_mode = parts.planner.mode() == PlanMode::PrefixShared;
+        let mut prefix_maps: Vec<PrefixMap> = Vec::new();
+        if prefix_mode {
+            prefix_maps.resize_with(nshards, HashMap::new);
+            let trie = parts.planner.trie();
+            let mut next_li = vec![0u32; nshards];
+            for &gid in &active_gids {
+                let shard = shard_of[gid];
+                let li = next_li[shard];
+                next_li[shard] += 1;
+                let group = parts.planner.group(gid);
+                for (d, &node) in trie.path_of(group.trie_node()).iter().enumerate() {
+                    prefix_maps[shard].entry(node).or_default().push((li, group.main_nodes()[d]));
+                }
+            }
+        }
+
+        let (trie, group_slice) = parts.planner.run_split();
+        let trie = prefix_mode.then_some(trie);
         let mut per_shard: Vec<Vec<(usize, &mut PlanGroup)>> =
             (0..nshards).map(|_| Vec::new()).collect();
-        for (gid, group) in parts.planner.groups_mut().iter_mut().enumerate() {
+        for (gid, group) in group_slice.iter_mut().enumerate() {
             if group.is_active() {
                 per_shard[shard_of[gid]].push((gid, group));
             }
@@ -233,10 +261,14 @@ impl ShardedEngine {
             (0..nshards).map(|_| Arc::new(Ring::new(RING_BATCHES))).collect();
         let (tx, rx): (Sender<WorkerReport>, Receiver<WorkerReport>) = channel();
         thread::scope(|scope| {
+            let mut prefix_maps = prefix_maps.into_iter();
             for (shard, groups) in per_shard.into_iter().enumerate() {
                 let ring = Arc::clone(&rings[shard]);
                 let tx = tx.clone();
-                scope.spawn(move || run_worker(shard, groups, use_index, nsymbols, ring, tx));
+                let prefix = prefix_maps.next();
+                scope.spawn(move || {
+                    run_worker(shard, groups, use_index, nsymbols, prefix, ring, tx)
+                });
             }
             drop(tx);
             // Rings must close even if `f` (or output assembly) panics:
@@ -248,6 +280,7 @@ impl ShardedEngine {
                     driver: parts.driver,
                     interner: parts.interner,
                     filter,
+                    trie,
                     rings: &rings,
                     rx: &rx,
                     subscribers,
@@ -326,6 +359,10 @@ struct ThreadedSession<'a> {
     /// `Some` in indexed mode: the engine's global dispatch index, used
     /// to skip broadcasting events with no interested group anywhere.
     filter: Option<&'a crate::multi::DispatchIndex>,
+    /// `Some` under prefix sharing: the global plan trie, advanced once
+    /// per event on the document thread (push decisions ship with the
+    /// events; the run counters feed the plan statistics).
+    trie: Option<&'a mut StepTrie>,
     rings: &'a [Arc<Ring<EventBatch>>],
     rx: &'a Receiver<WorkerReport>,
     /// Subscriber snapshot per group slot (frozen for the session).
@@ -352,10 +389,14 @@ impl ThreadedSession<'_> {
         let mut group_stats: Vec<MachineStats> = vec![MachineStats::default(); self.group_slots];
         let mut group_bytes = 0u64;
         let mut done = 0usize;
+        if let Some(trie) = &mut self.trie {
+            trie.begin_document();
+        }
         let stream = {
             let mut pump = DocPump {
                 interner: self.interner,
                 filter: self.filter,
+                trie: self.trie.as_deref_mut(),
                 rings: self.rings,
                 rx: self.rx,
                 merger: &mut merger,
@@ -367,6 +408,10 @@ impl ThreadedSession<'_> {
                 done: &mut done,
                 seq: 0,
                 open_names: Vec::new(),
+                pushed: Vec::new(),
+                trie_open: Vec::new(),
+                trie_frames: Vec::new(),
+                empty_pushes: Vec::new().into(),
                 batch: Vec::with_capacity(EVENT_BATCH),
                 ended: false,
             };
@@ -396,10 +441,21 @@ impl ThreadedSession<'_> {
                 None => MachineStats::default(),
             })
             .collect();
+        // Refresh the per-run halves of the plan snapshot: group-resident
+        // bytes from the worker acknowledgements, prefix counters from
+        // the document thread's trie run.
+        let mut plan = PlanStats { plan_bytes: self.plan_overhead + group_bytes, ..self.plan };
+        if let Some(trie) = &self.trie {
+            let run = trie.run_stats();
+            plan.prefix_steps_executed = run.steps_executed;
+            plan.prefix_steps_saved = run.steps_saved;
+            plan.prefix_forks = run.forks;
+            plan.prefix_stack_bytes = run.peak_stack_bytes();
+        }
         Ok(MultiOutput {
             matches,
             stats,
-            plan: PlanStats { plan_bytes: self.plan_overhead + group_bytes, ..self.plan },
+            plan,
             elements: stream.elements,
             text_nodes: stream.text_nodes,
             events: stream.events,
@@ -441,6 +497,10 @@ fn fan_out<F: FnMut(QueryId, Match)>(
 struct DocPump<'a, F: FnMut(QueryId, Match)> {
     interner: &'a Interner,
     filter: Option<&'a crate::multi::DispatchIndex>,
+    /// `Some` under prefix sharing: the global trie, advanced here once
+    /// per element event; the resulting pushes ship inside
+    /// [`ShardEvent::Start`].
+    trie: Option<&'a mut StepTrie>,
     rings: &'a [Arc<Ring<EventBatch>>],
     rx: &'a Receiver<WorkerReport>,
     merger: &'a mut MatchMerger,
@@ -460,6 +520,15 @@ struct DocPump<'a, F: FnMut(QueryId, Match)> {
     /// tag reuses the start tag's allocation. Skips pair up (same symbol
     /// against the same frozen filter), so pushes and pops balance.
     open_names: Vec<Arc<str>>,
+    /// Scratch: the trie pushes of the current element event.
+    pushed: Vec<TriePush>,
+    /// Flat stack of trie nodes pushed per open shipped element (the end
+    /// tag retreats exactly these).
+    trie_open: Vec<u32>,
+    /// One `trie_open` offset per open shipped element.
+    trie_frames: Vec<u32>,
+    /// Shared empty push list (most events push nothing).
+    empty_pushes: Arc<[TriePush]>,
     batch: Vec<ShardEvent>,
     ended: bool,
 }
@@ -529,13 +598,34 @@ impl<F: FnMut(QueryId, Match)> EventSink for DocPump<'_, F> {
         attr_id_base: NodeId,
     ) {
         self.seq += 1;
+        // Prefix sharing: advance the global trie exactly once per
+        // element event — the same walk the single-threaded engine does,
+        // so the run counters cannot depend on the shard count.
+        if let Some(trie) = &mut self.trie {
+            self.pushed.clear();
+            trie.advance(sym, event.level, &mut self.pushed);
+        }
         // Sequence numbers advance for *every* event (they are the merge
         // key), but payloads for events no shard would dispatch are never
         // built or shipped. The matching end tag resolves to the same
         // symbol against the same frozen index, so skips always pair up.
+        // A skipped event can never have trie pushes: every routed trie
+        // step name (and any wildcard) is registered in the filter index.
         if self.filter.is_some_and(|index| !index.has_element_target(sym)) {
+            debug_assert!(self.pushed.is_empty(), "filtered events cannot advance the trie");
             return;
         }
+        let pushes: Arc<[TriePush]> = if self.trie.is_some() {
+            self.trie_frames.push(self.trie_open.len() as u32);
+            self.trie_open.extend(self.pushed.iter().map(|p| p.node));
+            if self.pushed.is_empty() {
+                Arc::clone(&self.empty_pushes)
+            } else {
+                self.pushed.as_slice().into()
+            }
+        } else {
+            Arc::clone(&self.empty_pushes)
+        };
         let name: Arc<str> = event.name.as_str().into();
         self.open_names.push(Arc::clone(&name));
         self.batch.push(ShardEvent::Start {
@@ -547,6 +637,7 @@ impl<F: FnMut(QueryId, Match)> EventSink for DocPump<'_, F> {
             node_id,
             attr_id_base,
             span: event.span,
+            pushes,
         });
         if self.batch.len() >= EVENT_BATCH {
             self.flush();
@@ -574,6 +665,13 @@ impl<F: FnMut(QueryId, Match)> EventSink for DocPump<'_, F> {
         self.seq += 1;
         if self.filter.is_some_and(|index| !index.has_element_target(sym)) {
             return;
+        }
+        if let Some(trie) = &mut self.trie {
+            let base = self.trie_frames.pop().expect("shipped tags pair") as usize;
+            for &node in &self.trie_open[base..] {
+                trie.retreat_one(node, event.level);
+            }
+            self.trie_open.truncate(base);
         }
         let name = self.open_names.pop().expect("shipped end tags pair with shipped start tags");
         self.batch.push(ShardEvent::End {

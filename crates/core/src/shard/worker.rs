@@ -8,7 +8,7 @@
 //! to those groups — and reports emitted matches tagged with their global
 //! ordering key, plus a watermark, back to the document thread.
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::sync::mpsc::Sender;
 use std::sync::{Arc, Condvar, Mutex};
 
@@ -17,11 +17,18 @@ use vitex_xmlsax::pos::ByteSpan;
 
 use crate::intern::Symbol;
 use crate::multi::DispatchIndex;
-use crate::plan::PlanGroup;
+use crate::plan::{PlanGroup, TriePush};
 use crate::result::NodeId;
 use crate::stats::MachineStats;
 
 use super::merge::TaggedMatch;
+
+/// Prefix-shared execution: global trie node → the `(local slot, machine
+/// node)` pairs a push of that node drives within this shard's group
+/// subset. Built by the session on the document thread (which owns the
+/// trie) and handed to the worker, so workers never walk the trie
+/// themselves — they just apply the shipped push decisions.
+pub(crate) type PrefixMap = HashMap<u32, Vec<(u32, u32)>>;
 
 /// One document event in shard-transportable form. String payloads (tag
 /// name, attributes, text) are `Arc`-shared: the document thread builds
@@ -41,6 +48,10 @@ pub(crate) enum ShardEvent {
         node_id: NodeId,
         attr_id_base: NodeId,
         span: ByteSpan,
+        /// Main-path push decisions from the document thread's plan trie
+        /// (prefix-shared execution; empty otherwise). `Arc`-shared like
+        /// the other payloads: built once, bumped per ring.
+        pushes: Arc<[TriePush]>,
     },
     /// A text node.
     Text { seq: u64, text: Arc<str>, level: u32, node_id: NodeId, span: ByteSpan },
@@ -169,6 +180,7 @@ pub(crate) fn run_worker(
     mut groups: Vec<(usize, &mut PlanGroup)>,
     use_index: bool,
     nsymbols: usize,
+    prefix: Option<PrefixMap>,
     ring: Arc<Ring<EventBatch>>,
     out: Sender<WorkerReport>,
 ) {
@@ -179,17 +191,31 @@ pub(crate) fn run_worker(
     let _poison_on_panic = PoisonGuard { shard, ring: &ring, out: &out };
 
     // Local dispatch structures over this shard's subset, keyed by global
-    // group id so match tags are globally comparable.
+    // group id so match tags are globally comparable. Under prefix
+    // sharing the index carries predicate-only element interests: the
+    // main path arrives pre-planned inside the events.
     let mut index = DispatchIndex::default();
     let max_gid = groups.iter().map(|(gid, _)| gid + 1).max().unwrap_or(0);
     let mut local_of: Vec<u32> = vec![u32::MAX; max_gid];
     for (li, (gid, group)) in groups.iter().enumerate() {
-        index.add_group(*gid, group.machine().spec(), nsymbols);
+        if prefix.is_some() {
+            index.add_group_prefix(*gid, group.machine().spec(), nsymbols);
+        } else {
+            index.add_group(*gid, group.machine().spec(), nsymbols);
+        }
         local_of[*gid] = li as u32;
     }
 
     // Ascending global gids, indexable by local slot (the scan path).
     let gids: Vec<u32> = groups.iter().map(|(gid, _)| *gid as u32).collect();
+
+    // Prefix-mode scratch: per-event main plans, predicate targets and
+    // the frame stack of machines that pushed per open element.
+    let mut plans: Vec<(u32, u32, u32)> = Vec::new();
+    let mut pred_lis: Vec<u32> = Vec::new();
+    let mut main_scratch: Vec<(u32, u32)> = Vec::new();
+    let mut frame_lis: Vec<u32> = Vec::new();
+    let mut frames: Vec<u32> = Vec::new();
 
     let mut matches: Vec<TaggedMatch> = Vec::new();
     let mut through_seq = 0u64;
@@ -238,7 +264,73 @@ pub(crate) fn run_worker(
                     for (_, group) in groups.iter_mut() {
                         group.machine_mut().reset();
                     }
+                    frame_lis.clear();
+                    frames.clear();
                     through_seq = 0;
+                }
+                ShardEvent::Start {
+                    seq,
+                    sym,
+                    name,
+                    level,
+                    attrs,
+                    node_id,
+                    attr_id_base,
+                    span,
+                    pushes,
+                } if prefix.is_some() => {
+                    through_seq = *seq;
+                    let map = prefix.as_ref().expect("guarded by arm");
+                    plans.clear();
+                    for p in pushes.iter() {
+                        if let Some(targets) = map.get(&p.node) {
+                            for &(li, mnode) in targets {
+                                plans.push((li, mnode, p.ptr));
+                            }
+                        }
+                    }
+                    plans.sort_unstable();
+                    pred_lis.clear();
+                    if use_index {
+                        index.for_each_element_target(*sym, |gid| pred_lis.push(local_of[gid]));
+                    } else {
+                        pred_lis.extend(0..groups.len() as u32);
+                    }
+                    frames.push(frame_lis.len() as u32);
+                    crate::multi::merge_prefix_targets(
+                        &plans,
+                        &pred_lis,
+                        &mut main_scratch,
+                        &mut frame_lis,
+                        |li, main, preds| {
+                            let (gid, group) = &mut groups[li as usize];
+                            let gid = *gid as u32;
+                            group.machine_mut().start_element_prefix(
+                                main,
+                                preds,
+                                *sym,
+                                name,
+                                *level,
+                                attrs,
+                                *node_id,
+                                *attr_id_base,
+                                *span,
+                                &mut |m| matches.push(TaggedMatch { seq: *seq, gid, m }),
+                            )
+                        },
+                    );
+                }
+                ShardEvent::End { seq, name, level, element_span, .. } if prefix.is_some() => {
+                    through_seq = *seq;
+                    let base = frames.pop().expect("shipped tags pair") as usize;
+                    for &li in &frame_lis[base..] {
+                        let (gid, group) = &mut groups[li as usize];
+                        let gid = *gid as u32;
+                        group.machine_mut().end_element(name, *level, *element_span, &mut |m| {
+                            matches.push(TaggedMatch { seq: *seq, gid, m })
+                        });
+                    }
+                    frame_lis.truncate(base);
                 }
                 ShardEvent::Start { seq, sym, .. } | ShardEvent::End { seq, sym, .. } => {
                     through_seq = *seq;

@@ -50,6 +50,29 @@ pub struct PlanStats {
     /// Approximate bytes of compiled plan structure (machine specs, stacks
     /// at rest, trie, subscriber lists).
     pub plan_bytes: u64,
+
+    // ----- prefix-shared execution counters (PlanMode::PrefixShared) -----
+    // All four are per-*run* counters maintained by the runtime step trie
+    // on the document thread (zero in the other plan modes and before the
+    // first run), so they are identical across dispatch modes and shard
+    // counts by construction.
+    /// Main-path step checks executed against the shared trie this run —
+    /// one per (event, trie node with live routes), instead of one per
+    /// (event, group, machine node) as in per-group planning. This is the
+    /// number the E11 experiment shows scaling with distinct trie nodes
+    /// rather than with the query count.
+    pub prefix_steps_executed: u64,
+    /// Per-group main-path step checks *avoided* by sharing: for every
+    /// executed trie check, `routes - 1` group machines did not have to
+    /// re-evaluate the same axis/name witness.
+    pub prefix_steps_saved: u64,
+    /// Forks from shared trie state into per-group machines: entry
+    /// deliveries where a trie push fanned out to each routed group's own
+    /// stack (flags/candidates diverge per group from here on).
+    pub prefix_forks: u64,
+    /// Peak bytes of the shared trie stacks this run — the main-path
+    /// match state the groups consult instead of each probing their own.
+    pub prefix_stack_bytes: u64,
 }
 
 impl PlanStats {
@@ -65,7 +88,7 @@ impl PlanStats {
 
     /// Human-readable one-line summary.
     pub fn summary(&self) -> String {
-        format!(
+        let mut line = format!(
             "queries={} groups={} dedup={:.2}x recycled_slots={} machine_nodes={} \
              trie_nodes={} shared_trie_nodes={} plan_bytes={}",
             self.queries,
@@ -76,7 +99,17 @@ impl PlanStats {
             self.trie_nodes,
             self.shared_trie_nodes,
             self.plan_bytes,
-        )
+        );
+        if self.prefix_steps_executed > 0 {
+            line.push_str(&format!(
+                " prefix(steps={} saved={} forks={} stack_bytes={})",
+                self.prefix_steps_executed,
+                self.prefix_steps_saved,
+                self.prefix_forks,
+                self.prefix_stack_bytes,
+            ));
+        }
+        line
     }
 }
 

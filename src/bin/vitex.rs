@@ -13,6 +13,8 @@
 //!   --eager             use the eager (ablation) candidate propagation mode
 //!   --scan-dispatch     multi-query: poke every machine per event (no index)
 //!   --no-plan-sharing   multi-query: one machine per query (no dedup/trie plan)
+//!   --prefix-sharing    multi-query: share runtime state along common main-path
+//!                       prefixes (YFilter-style; same output, less per-event work)
 //!   --shards <N>        run plan groups on N worker threads (default 1)
 //!   --machine           dump the compiled TwigM machine(s) and exit
 //! ```
@@ -43,6 +45,7 @@ struct Options {
     eager: bool,
     scan_dispatch: bool,
     no_plan_sharing: bool,
+    prefix_sharing: bool,
     shards: usize,
     machine: bool,
 }
@@ -50,7 +53,8 @@ struct Options {
 fn usage() -> ! {
     eprintln!(
         "usage: vitex [--count] [--values] [--stats] [--eager] [--scan-dispatch]\n\
-         \x20            [--no-plan-sharing] [--shards N] [--machine] <QUERY> [FILE]\n\
+         \x20            [--no-plan-sharing] [--prefix-sharing] [--shards N]\n\
+         \x20            [--machine] <QUERY> [FILE]\n\
          \x20      vitex [OPTIONS] -e <QUERY> [-e <QUERY> ...] [FILE]\n\
          \n\
          Streams FILE (or stdin) through the TwigM machine(s) and prints every\n\
@@ -81,6 +85,7 @@ fn parse_args() -> Options {
         eager: false,
         scan_dispatch: false,
         no_plan_sharing: false,
+        prefix_sharing: false,
         shards: 1,
         machine: false,
     };
@@ -97,6 +102,7 @@ fn parse_args() -> Options {
             "--eager" => opts.eager = true,
             "--scan-dispatch" => opts.scan_dispatch = true,
             "--no-plan-sharing" => opts.no_plan_sharing = true,
+            "--prefix-sharing" => opts.prefix_sharing = true,
             "--shards" => match args.next().and_then(|n| n.parse::<usize>().ok()) {
                 Some(n) if n >= 1 => opts.shards = n,
                 _ => usage(),
@@ -244,7 +250,13 @@ fn run_single(opts: &Options, tree: &QueryTree) -> ExitCode {
 /// the single-threaded `MultiEngine::run` path, bit for bit.
 fn run_multi(opts: &Options, trees: &[QueryTree]) -> ExitCode {
     let dispatch = if opts.scan_dispatch { DispatchMode::Scan } else { DispatchMode::Indexed };
-    let plan = if opts.no_plan_sharing { PlanMode::Unshared } else { PlanMode::Shared };
+    let plan = if opts.no_plan_sharing {
+        PlanMode::Unshared
+    } else if opts.prefix_sharing {
+        PlanMode::PrefixShared
+    } else {
+        PlanMode::Shared
+    };
     let mut multi = ShardedEngine::with_options(opts.shards, dispatch, plan);
     for tree in trees {
         if let Err(e) = multi.add_tree(tree) {
@@ -317,6 +329,10 @@ fn run_multi(opts: &Options, trees: &[QueryTree]) -> ExitCode {
 
 fn main() -> ExitCode {
     let opts = parse_args();
+    if opts.no_plan_sharing && opts.prefix_sharing {
+        eprintln!("vitex: --no-plan-sharing and --prefix-sharing are mutually exclusive");
+        return ExitCode::from(2);
+    }
     let trees = match parse_trees(&opts.queries) {
         Ok(t) => t,
         Err(code) => return code,
@@ -324,7 +340,11 @@ fn main() -> ExitCode {
     if opts.machine {
         return dump_machines(&trees);
     }
-    if trees.len() == 1 && opts.shards == 1 {
+    // `--prefix-sharing` is a plan-mode knob of the multi-query engine;
+    // like `--shards`, it must never change the single-query output
+    // format, so a single query routes through the (unprefixed) pub/sub
+    // path.
+    if trees.len() == 1 && opts.shards == 1 && !opts.prefix_sharing {
         run_single(&opts, &trees[0])
     } else {
         if opts.eager {

@@ -50,7 +50,7 @@ fn check_document(label: &str, xml: &str) {
         BATTERY.iter().map(|q| QueryTree::parse(q).expect("valid query")).collect();
 
     for mode in [DispatchMode::Indexed, DispatchMode::Scan] {
-        for plan in [PlanMode::Shared, PlanMode::Unshared] {
+        for plan in [PlanMode::Shared, PlanMode::Unshared, PlanMode::PrefixShared] {
             let mut multi = MultiEngine::with_options(mode, plan);
             for tree in &trees {
                 multi.add_tree(tree).expect("registrable");
@@ -170,8 +170,13 @@ fn mixed_doc() -> String {
 #[test]
 fn shared_plan_agrees_with_per_query_engines_on_overlapping_sets() {
     let xml = mixed_doc();
-    for mode in [DispatchMode::Indexed, DispatchMode::Scan] {
-        let mut multi = MultiEngine::with_options(mode, PlanMode::Shared);
+    for (mode, plan) in [
+        (DispatchMode::Indexed, PlanMode::Shared),
+        (DispatchMode::Scan, PlanMode::Shared),
+        (DispatchMode::Indexed, PlanMode::PrefixShared),
+        (DispatchMode::Scan, PlanMode::PrefixShared),
+    ] {
+        let mut multi = MultiEngine::with_options(mode, plan);
         for q in OVERLAP_SET {
             multi.add_query(q).unwrap();
         }
@@ -184,7 +189,11 @@ fn shared_plan_agrees_with_per_query_engines_on_overlapping_sets() {
         for (i, q) in OVERLAP_SET.iter().enumerate() {
             let tree = QueryTree::parse(q).unwrap();
             let got: Vec<u64> = out.matches[i].iter().map(|m| m.node).collect();
-            assert_eq!(got, single_ids(&xml, &tree), "query #{i} {q} under {mode:?}");
+            assert_eq!(got, single_ids(&xml, &tree), "query #{i} {q} under {mode:?}/{plan:?}");
+        }
+        if plan == PlanMode::PrefixShared {
+            assert!(out.plan.prefix_steps_executed > 0, "the trie actually ran");
+            assert!(out.plan.prefix_steps_saved > 0, "overlapping set must share steps");
         }
     }
 }
@@ -255,6 +264,104 @@ fn incremental_add_and_remove_matches_fresh_registration() {
 }
 
 #[test]
+fn prefix_sharing_reproduces_unshared_behavior_bit_for_bit() {
+    // The prefix-shared runtime rewires the hottest matching path, so the
+    // bar is higher than match equality: per-query match payloads, the
+    // per-query *machine statistics* (pushes, pops, flags, candidate
+    // accounting, peaks — entry-for-entry identical work) and stream
+    // counters must all equal the unshared engine's, and the global
+    // callback interleaving must equal shared mode's (the two modes group
+    // subscribers identically).
+    let xml = mixed_doc();
+    let queries: Vec<&str> = BATTERY.iter().chain(OVERLAP_SET).copied().collect();
+    let run = |plan: PlanMode, dispatch: DispatchMode| {
+        let mut multi = MultiEngine::with_options(dispatch, plan);
+        for q in &queries {
+            multi.add_query(q).unwrap();
+        }
+        let mut streamed: Vec<(usize, u64)> = Vec::new();
+        let out = multi
+            .run(XmlReader::from_str(&xml), |qid, m| streamed.push((qid.0, m.node)))
+            .expect("run");
+        (out, streamed)
+    };
+    for dispatch in [DispatchMode::Indexed, DispatchMode::Scan] {
+        let (prefix, prefix_streamed) = run(PlanMode::PrefixShared, dispatch);
+        let (shared, shared_streamed) = run(PlanMode::Shared, dispatch);
+        let (unshared, _) = run(PlanMode::Unshared, dispatch);
+        assert_eq!(prefix.matches, unshared.matches, "{dispatch:?}: match payloads");
+        assert_eq!(prefix.stats, unshared.stats, "{dispatch:?}: machine statistics");
+        assert_eq!(
+            (prefix.elements, prefix.text_nodes, prefix.events),
+            (unshared.elements, unshared.text_nodes, unshared.events),
+            "{dispatch:?}: stream counters"
+        );
+        assert_eq!(prefix_streamed, shared_streamed, "{dispatch:?}: callback order");
+        // Structural plan statistics equal shared mode; the prefix runtime
+        // counters are the only difference.
+        let structural = |p: &vitex::core::PlanStats| vitex::core::PlanStats {
+            prefix_steps_executed: 0,
+            prefix_steps_saved: 0,
+            prefix_forks: 0,
+            prefix_stack_bytes: 0,
+            ..*p
+        };
+        assert_eq!(structural(&prefix.plan), structural(&shared.plan), "{dispatch:?}: plan");
+        assert!(prefix.plan.prefix_steps_executed > 0);
+        assert!(prefix.plan.prefix_steps_saved > 0, "overlap set shares main-path steps");
+        assert!(prefix.plan.prefix_forks > 0);
+        assert_eq!(shared.plan.prefix_steps_executed, 0, "other modes never touch the trie");
+    }
+}
+
+#[test]
+fn prefix_sharing_churn_splices_and_retires_trie_state() {
+    // Interleave add_query/remove_query between documents under prefix
+    // sharing: retired groups must be spliced out of the trie routes (no
+    // orphan runtime state driving a dead machine), recycled slots must
+    // be re-routed, and every intermediate subscription set must behave
+    // exactly like a freshly built engine.
+    let xml = mixed_doc();
+    let mut multi = MultiEngine::with_options(DispatchMode::Indexed, PlanMode::PrefixShared);
+    let q_cell = multi.add_query("//section//cell").unwrap();
+    let q_cell_dup = multi.add_query("//section//cell").unwrap();
+    let q_id = multi.add_query("//ProteinEntry[reference]/@id").unwrap();
+    let check = |multi: &mut MultiEngine, live: &[(&str, vitex::core::QueryId)]| {
+        let out = multi.run(XmlReader::from_str(&xml), |_, _| {}).expect("run");
+        for (q, id) in live {
+            let tree = QueryTree::parse(q).unwrap();
+            let got: Vec<u64> = out.matches[id.0].iter().map(|m| m.node).collect();
+            assert_eq!(got, single_ids(&xml, &tree), "churned query {q}");
+        }
+        out
+    };
+    check(&mut multi, &[("//section//cell", q_cell), ("//ProteinEntry[reference]/@id", q_id)]);
+    assert_eq!(multi.remove_query(q_cell), Some(false), "duplicate keeps the group routed");
+    assert_eq!(multi.remove_query(q_id), Some(true), "retirement unroutes the trie path");
+    let q_name = multi.add_query("//ProteinEntry/protein/name").unwrap();
+    let out = check(
+        &mut multi,
+        &[("//section//cell", q_cell_dup), ("//ProteinEntry/protein/name", q_name)],
+    );
+    assert!(out.matches[q_cell.0].is_empty() && out.matches[q_id.0].is_empty());
+    assert_eq!(out.plan.recycled_slots, 1, "//ProteinEntry/protein/name recycled the slot");
+    // The recycled slot's new trie path must route (and the old one not):
+    // a fresh engine over the surviving queries is the ground truth for
+    // *all* statistics, prefix runtime counters included.
+    let mut fresh = MultiEngine::with_options(DispatchMode::Indexed, PlanMode::PrefixShared);
+    let f_cell = fresh.add_query("//section//cell").unwrap();
+    let f_name = fresh.add_query("//ProteinEntry/protein/name").unwrap();
+    let fresh_out = fresh.run(XmlReader::from_str(&xml), |_, _| {}).unwrap();
+    assert_eq!(out.matches[q_cell_dup.0], fresh_out.matches[f_cell.0]);
+    assert_eq!(out.matches[q_name.0], fresh_out.matches[f_name.0]);
+    assert_eq!(
+        (out.plan.prefix_steps_executed, out.plan.prefix_forks),
+        (fresh_out.plan.prefix_steps_executed, fresh_out.plan.prefix_forks),
+        "churned trie must do exactly the work a fresh trie does"
+    );
+}
+
+#[test]
 fn sharded_battery_is_byte_identical_to_single_threaded() {
     // The sharded engine's whole contract: for every shard count, every
     // dispatch mode and every plan mode, the merged output — match
@@ -264,7 +371,7 @@ fn sharded_battery_is_byte_identical_to_single_threaded() {
     let xml = mixed_doc();
     let queries: Vec<&str> = BATTERY.iter().chain(OVERLAP_SET).copied().collect();
     for mode in [DispatchMode::Indexed, DispatchMode::Scan] {
-        for plan in [PlanMode::Shared, PlanMode::Unshared] {
+        for plan in [PlanMode::Shared, PlanMode::Unshared, PlanMode::PrefixShared] {
             let (reference, ref_streamed) = {
                 let mut multi = MultiEngine::with_options(mode, plan);
                 for q in &queries {
@@ -313,56 +420,58 @@ fn sharded_sessions_survive_churn_and_back_to_back_documents() {
         protein::to_string(&protein::ProteinConfig { target_bytes: 15_000, ..Default::default() }),
     ];
     for &shards in SHARD_COUNTS {
-        let mut reference = MultiEngine::new();
-        let mut sharded = ShardedEngine::new(shards);
-        for q in OVERLAP_SET {
-            reference.add_query(q).unwrap();
-            sharded.add_query(q).unwrap();
-        }
-        // Session 1: the whole collection, back-to-back, no re-planning.
-        let outs = sharded
-            .session(|session| {
-                docs.iter()
-                    .map(|xml| session.run_document(XmlReader::from_str(xml), |_, _| {}))
-                    .collect::<Result<Vec<_>, _>>()
-            })
-            .expect("sharded session");
-        for (xml, out) in docs.iter().zip(&outs) {
-            let ref_out = reference.run(XmlReader::from_str(xml), |_, _| {}).unwrap();
-            assert_eq!(out.matches, ref_out.matches, "{shards} shards, session 1");
-            assert_eq!(out.stats, ref_out.stats, "{shards} shards, session 1");
-            assert_eq!(out.plan, ref_out.plan, "{shards} shards, session 1");
-        }
-        // Churn: drop a duplicate, retire a group, add a new shape.
-        for engine_step in [true, false] {
-            let (r1, r2, r3);
-            if engine_step {
-                r1 = reference.remove_query(vitex::core::QueryId(0));
-                r2 = reference.remove_query(vitex::core::QueryId(5));
-                r3 = reference.add_query("//listitem/text()").unwrap();
-            } else {
-                r1 = sharded.remove_query(vitex::core::QueryId(0));
-                r2 = sharded.remove_query(vitex::core::QueryId(5));
-                r3 = sharded.add_query("//listitem/text()").unwrap();
+        for plan in [PlanMode::Shared, PlanMode::PrefixShared] {
+            let mut reference = MultiEngine::with_options(DispatchMode::Indexed, plan);
+            let mut sharded = ShardedEngine::with_options(shards, DispatchMode::Indexed, plan);
+            for q in OVERLAP_SET {
+                reference.add_query(q).unwrap();
+                sharded.add_query(q).unwrap();
             }
-            assert_eq!(r1, Some(false), "query 0 duplicates query 1");
-            assert_eq!(r2, Some(true), "query 5 was its group's only subscriber");
-            assert_eq!(r3.0, OVERLAP_SET.len());
-        }
-        // Session 2: the rebalanced partition over the churned plan.
-        let outs = sharded
-            .session(|session| {
-                docs.iter()
-                    .map(|xml| session.run_document(XmlReader::from_str(xml), |_, _| {}))
-                    .collect::<Result<Vec<_>, _>>()
-            })
-            .expect("sharded session after churn");
-        for (xml, out) in docs.iter().zip(&outs) {
-            let ref_out = reference.run(XmlReader::from_str(xml), |_, _| {}).unwrap();
-            assert_eq!(out.matches, ref_out.matches, "{shards} shards, session 2");
-            assert_eq!(out.stats, ref_out.stats, "{shards} shards, session 2");
-            assert_eq!(out.plan, ref_out.plan, "{shards} shards, session 2");
-            assert!(out.plan.recycled_slots > 0, "churn recycled a group slot");
+            // Session 1: the whole collection, back-to-back, no re-planning.
+            let outs = sharded
+                .session(|session| {
+                    docs.iter()
+                        .map(|xml| session.run_document(XmlReader::from_str(xml), |_, _| {}))
+                        .collect::<Result<Vec<_>, _>>()
+                })
+                .expect("sharded session");
+            for (xml, out) in docs.iter().zip(&outs) {
+                let ref_out = reference.run(XmlReader::from_str(xml), |_, _| {}).unwrap();
+                assert_eq!(out.matches, ref_out.matches, "{shards} shards, session 1");
+                assert_eq!(out.stats, ref_out.stats, "{shards} shards, session 1");
+                assert_eq!(out.plan, ref_out.plan, "{shards} shards, session 1");
+            }
+            // Churn: drop a duplicate, retire a group, add a new shape.
+            for engine_step in [true, false] {
+                let (r1, r2, r3);
+                if engine_step {
+                    r1 = reference.remove_query(vitex::core::QueryId(0));
+                    r2 = reference.remove_query(vitex::core::QueryId(5));
+                    r3 = reference.add_query("//listitem/text()").unwrap();
+                } else {
+                    r1 = sharded.remove_query(vitex::core::QueryId(0));
+                    r2 = sharded.remove_query(vitex::core::QueryId(5));
+                    r3 = sharded.add_query("//listitem/text()").unwrap();
+                }
+                assert_eq!(r1, Some(false), "query 0 duplicates query 1");
+                assert_eq!(r2, Some(true), "query 5 was its group's only subscriber");
+                assert_eq!(r3.0, OVERLAP_SET.len());
+            }
+            // Session 2: the rebalanced partition over the churned plan.
+            let outs = sharded
+                .session(|session| {
+                    docs.iter()
+                        .map(|xml| session.run_document(XmlReader::from_str(xml), |_, _| {}))
+                        .collect::<Result<Vec<_>, _>>()
+                })
+                .expect("sharded session after churn");
+            for (xml, out) in docs.iter().zip(&outs) {
+                let ref_out = reference.run(XmlReader::from_str(xml), |_, _| {}).unwrap();
+                assert_eq!(out.matches, ref_out.matches, "{shards} shards, session 2");
+                assert_eq!(out.stats, ref_out.stats, "{shards} shards, session 2");
+                assert_eq!(out.plan, ref_out.plan, "{shards} shards, session 2");
+                assert!(out.plan.recycled_slots > 0, "churn recycled a group slot");
+            }
         }
     }
 }

@@ -186,3 +186,137 @@ fn deep_documents_within_parser_limits() {
     let out = evaluate_reader(XmlReader::from_str(&xml), &tree).unwrap();
     assert_eq!(out.matches.len(), depth - 2);
 }
+
+// --------------------------------------------------------------------- //
+// Step-trie and planner invariants (prefix-shared plan runtime)
+// --------------------------------------------------------------------- //
+
+mod plan_invariants {
+    use proptest::prelude::*;
+
+    use vitex::core::plan::{StepKey, StepTrie};
+    use vitex::core::{Interner, PlanMode, QueryId, QueryPlanner};
+    use vitex::xpath::generate::{GenConfig, QueryGenerator};
+    use vitex::xpath::{Axis, QueryTree};
+
+    /// Derives a deterministic random step path from a seed.
+    fn path_from(seed: u64, interner: &mut Interner) -> Vec<StepKey> {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        let mut next = move |n: u64| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state % n
+        };
+        let len = 1 + next(4) as usize;
+        (0..len)
+            .map(|_| StepKey {
+                axis: if next(2) == 0 { Axis::Child } else { Axis::Descendant },
+                name: match next(4) {
+                    0 => None, // wildcard
+                    i => Some(interner.intern(["a", "b", "c"][i as usize - 1])),
+                },
+            })
+            .collect()
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+        /// Insert/remove round-trips: re-inserting a path is idempotent,
+        /// and removing every group leaves a fully unrouted (but intact)
+        /// trie — no orphan routes, no shared nodes, empty terminals.
+        #[test]
+        fn step_trie_insert_remove_round_trips(seed in 0u64..10_000, paths in 1usize..12) {
+            let mut interner = Interner::new();
+            let mut trie = StepTrie::new();
+            let mut terminals = Vec::new();
+            for g in 0..paths {
+                let path = path_from(seed.wrapping_add(g as u64), &mut interner);
+                let node = trie.insert_path(&path);
+                prop_assert_eq!(trie.insert_path(&path), node, "re-insert is idempotent");
+                trie.add_group(node, g);
+                terminals.push((node, g));
+                prop_assert!(trie.terminals(node).contains(&g));
+                prop_assert!(trie.is_routed(g));
+                prop_assert!(trie.route_count(node) >= 1);
+            }
+            let len_at_peak = trie.len();
+            for &(node, g) in &terminals {
+                trie.remove_group(node, g);
+                prop_assert!(!trie.is_routed(g), "removal leaves no orphan route");
+            }
+            prop_assert_eq!(trie.shared_nodes(), 0);
+            prop_assert_eq!(trie.len(), len_at_peak, "nodes are never deleted");
+            for &(node, _) in &terminals {
+                prop_assert!(trie.terminals(node).is_empty());
+                prop_assert_eq!(trie.route_count(node), 0);
+            }
+            prop_assert_eq!(trie.live_entries(), 0, "no runtime state without a run");
+        }
+
+        /// Planner churn: random register/unsubscribe sequences must keep
+        /// the trie routes exactly in sync with the active groups, and a
+        /// recycled slot must never alias a group still serving a live
+        /// subscription.
+        #[test]
+        fn planner_churn_keeps_routes_and_slots_consistent(
+            seed in 0u64..10_000, ops in 4usize..40
+        ) {
+            let mut planner = QueryPlanner::new(PlanMode::PrefixShared);
+            let mut interner = Interner::new();
+            let mut qgen = QueryGenerator::new(seed, GenConfig::default());
+            // Live registrations: (query id, group id).
+            let mut live: Vec<(usize, usize)> = Vec::new();
+            let mut next_qid = 0usize;
+            let mut state = seed | 1;
+            let mut next = move |n: u64| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                (state % n) as usize
+            };
+            for _ in 0..ops {
+                if live.is_empty() || next(3) > 0 {
+                    // Register.
+                    let tree = QueryTree::build(&qgen.query()).expect("valid query");
+                    let active_before: std::collections::HashSet<usize> =
+                        live.iter().map(|&(_, g)| g).collect();
+                    let reg = planner.register(&tree, QueryId(next_qid), &mut interner)
+                        .expect("registrable");
+                    if reg.created {
+                        prop_assert!(
+                            !active_before.contains(&reg.group),
+                            "a recycled slot must never alias a live group"
+                        );
+                    } else {
+                        prop_assert!(active_before.contains(&reg.group));
+                    }
+                    live.push((next_qid, reg.group));
+                    next_qid += 1;
+                } else {
+                    // Unsubscribe a random live registration.
+                    let at = next(live.len() as u64);
+                    let (qid, gid) = live.swap_remove(at);
+                    let still_subscribed = live.iter().any(|&(_, g)| g == gid);
+                    let last = planner.unsubscribe(gid, QueryId(qid));
+                    prop_assert_eq!(last, !still_subscribed, "last-subscriber detection");
+                }
+                // Invariants after every op.
+                let active: std::collections::HashSet<usize> =
+                    live.iter().map(|&(_, g)| g).collect();
+                prop_assert_eq!(planner.query_count(), live.len());
+                prop_assert_eq!(planner.group_count(), active.len());
+                for slot in 0..planner.groups().len() {
+                    let is_active = planner.group(slot).is_active();
+                    prop_assert_eq!(is_active, active.contains(&slot), "slot {} activity", slot);
+                    prop_assert_eq!(
+                        planner.trie().is_routed(slot), is_active,
+                        "routes track activity exactly (slot {})", slot
+                    );
+                }
+                prop_assert_eq!(planner.trie().live_entries(), 0);
+            }
+        }
+    }
+}

@@ -1,0 +1,217 @@
+//! The randomized differential harness: seeded random query *sets* ×
+//! seeded random documents, run through every engine configuration the
+//! system has — naive baseline, `PlanMode::{Unshared, Shared,
+//! PrefixShared}` × `DispatchMode::{Indexed, Scan}` × shard counts
+//! {1, 4} — asserting identical matches, callback order and statistics.
+//!
+//! This is the correctness net under the prefix-sharing rewrite of the
+//! hottest matching path: the hand-picked battery in
+//! `driver_differential.rs` covers known regimes; this harness explores
+//! axes, wildcards, predicates and nesting combinatorially. Every assert
+//! message carries the reproducing `(doc_seed, query_seed)` pair, so a CI
+//! failure is a one-line local repro:
+//!
+//! ```text
+//! cargo test --test random_differential -- --nocapture
+//! # then e.g.:  check_case(1234, 567)  — re-add as a #[test] with the
+//! # printed seeds, or run the fixed_seeds test after appending them.
+//! ```
+
+use proptest::prelude::*;
+
+use vitex::baseline::{naive, NaiveConfig};
+use vitex::core::{DispatchMode, MultiOutput, PlanMode, PlanStats, ShardedEngine};
+use vitex::xmlgen::random::{self, RandomConfig};
+use vitex::xmlsax::XmlReader;
+use vitex::xpath::generate::{GenConfig, QueryGenerator};
+use vitex::xpath::QueryTree;
+
+/// Shard counts the harness runs at (1 = the inline single-threaded
+/// delegation, 4 = a genuinely threaded partition).
+const SHARDS: &[usize] = &[1, 4];
+
+/// Queries per generated set — enough for overlap and duplicates to
+/// appear (the generator's alphabet is 5 tags), small enough to keep the
+/// full configuration product fast.
+const QUERIES_PER_SET: usize = 8;
+
+/// One engine configuration's observable output.
+struct RunResult {
+    out: MultiOutput,
+    /// `(query id, node id)` callback sequence in delivery order.
+    streamed: Vec<(usize, u64)>,
+}
+
+/// Generates a query set: random trees plus a forced literal duplicate of
+/// the first query (dedup + fan-out must always be exercised).
+fn query_set(query_seed: u64) -> Vec<QueryTree> {
+    let mut qgen = QueryGenerator::new(query_seed, GenConfig::default());
+    let mut trees: Vec<QueryTree> = qgen
+        .queries(QUERIES_PER_SET - 1)
+        .iter()
+        .map(|q| QueryTree::build(q).expect("generated queries are valid"))
+        .collect();
+    trees.push(QueryTree::parse(trees[0].original()).expect("round-trips"));
+    trees
+}
+
+fn run_config(
+    trees: &[QueryTree],
+    xml: &str,
+    plan: PlanMode,
+    dispatch: DispatchMode,
+    shards: usize,
+) -> RunResult {
+    let mut engine = ShardedEngine::with_options(shards, dispatch, plan);
+    for tree in trees {
+        engine.add_tree(tree).expect("registrable");
+    }
+    let mut streamed = Vec::new();
+    let out = engine
+        .run(XmlReader::from_str(xml), |qid, m| streamed.push((qid.0, m.node)))
+        .expect("engine run");
+    RunResult { out, streamed }
+}
+
+/// Plan statistics with the prefix runtime counters zeroed — the
+/// structural part that `Shared` and `PrefixShared` must agree on.
+fn structural(p: &PlanStats) -> PlanStats {
+    PlanStats {
+        prefix_steps_executed: 0,
+        prefix_steps_saved: 0,
+        prefix_forks: 0,
+        prefix_stack_bytes: 0,
+        ..*p
+    }
+}
+
+/// The full differential check for one (document, query set) pair.
+fn check_case(doc_seed: u64, query_seed: u64) {
+    let ctx = format!("doc_seed={doc_seed} query_seed={query_seed}");
+    let xml = random::to_string(&RandomConfig::seeded(doc_seed));
+    let trees = query_set(query_seed);
+
+    // Ground truth per query: the naive embedding enumerator (sorted
+    // node-id sets; skipped per query on combinatorial blowup).
+    let reference = run_config(&trees, &xml, PlanMode::Unshared, DispatchMode::Indexed, 1);
+    for (i, tree) in trees.iter().enumerate() {
+        let eval = naive::NaiveEvaluator::new(tree, NaiveConfig { max_embeddings: 100_000 });
+        match eval.run(XmlReader::from_str(&xml)) {
+            Ok(nout) => {
+                let mut ids: Vec<u64> = reference.out.matches[i].iter().map(|m| m.node).collect();
+                ids.sort_unstable();
+                assert_eq!(
+                    nout.matches,
+                    ids,
+                    "{ctx}: naive baseline disagrees on query #{i} {}",
+                    tree.original()
+                );
+            }
+            Err(naive::NaiveError::Blowup { .. }) => {}
+            Err(e) => panic!("{ctx}: naive failed on {}: {e}", tree.original()),
+        }
+    }
+
+    // Every configuration against the reference.
+    let mut shared_run: Option<RunResult> = None;
+    for plan in [PlanMode::Unshared, PlanMode::Shared, PlanMode::PrefixShared] {
+        let mut plan_reference: Option<RunResult> = None;
+        for dispatch in [DispatchMode::Indexed, DispatchMode::Scan] {
+            for &shards in SHARDS {
+                let r = run_config(&trees, &xml, plan, dispatch, shards);
+                let label = format!("{ctx}: {plan:?}/{dispatch:?}/{shards} shards");
+                // Matches (full payloads: spans, values, levels) and
+                // machine statistics are mode-invariant.
+                assert_eq!(r.out.matches, reference.out.matches, "matches: {label}");
+                assert_eq!(r.out.stats, reference.out.stats, "machine stats: {label}");
+                assert_eq!(
+                    (r.out.elements, r.out.text_nodes, r.out.events),
+                    (reference.out.elements, reference.out.text_nodes, reference.out.events),
+                    "stream stats: {label}"
+                );
+                // Callback order and plan statistics are invariant across
+                // dispatch modes and shard counts within one plan mode.
+                match &plan_reference {
+                    None => plan_reference = Some(r),
+                    Some(first) => {
+                        assert_eq!(r.streamed, first.streamed, "callback order: {label}");
+                        assert_eq!(r.out.plan, first.out.plan, "plan stats: {label}");
+                    }
+                }
+            }
+        }
+        let first = plan_reference.expect("at least one configuration ran");
+        match plan {
+            PlanMode::Unshared => {
+                assert_eq!(first.out.plan.dedup_ratio(), 1.0, "{ctx}: unshared never dedups");
+            }
+            PlanMode::Shared => {
+                assert!(
+                    first.out.plan.groups < trees.len() as u64,
+                    "{ctx}: the forced duplicate must dedup"
+                );
+                assert_eq!(first.out.plan.prefix_steps_executed, 0, "{ctx}: no trie runtime");
+                shared_run = Some(first);
+            }
+            PlanMode::PrefixShared => {
+                // Identical grouping to Shared — and therefore identical
+                // fan-out interleaving — plus a live trie runtime.
+                let shared = shared_run.as_ref().expect("Shared ran before PrefixShared");
+                assert_eq!(
+                    first.streamed, shared.streamed,
+                    "{ctx}: prefix-shared callback order equals shared"
+                );
+                assert_eq!(
+                    structural(&first.out.plan),
+                    structural(&shared.out.plan),
+                    "{ctx}: structural plan stats equal shared mode"
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    /// The headline randomized sweep: random documents × random query
+    /// sets through the full engine-configuration product.
+    #[test]
+    fn engines_agree_on_random_query_sets(doc_seed in 0u64..4000, query_seed in 0u64..4000) {
+        check_case(doc_seed, query_seed);
+    }
+
+    /// Deeply recursive documents — the regime where shared prefix
+    /// stacks pile up and lazy candidate inheritance matters.
+    #[test]
+    fn engines_agree_on_recursive_documents(depth in 2u64..14, query_seed in 0u64..500) {
+        let xml = vitex::xmlgen::recursive::uniform_nesting(depth as usize);
+        let trees = query_set(query_seed);
+        let reference = run_config(&trees, &xml, PlanMode::Unshared, DispatchMode::Indexed, 1);
+        for plan in [PlanMode::Shared, PlanMode::PrefixShared] {
+            for &shards in SHARDS {
+                let r = run_config(&trees, &xml, plan, DispatchMode::Indexed, shards);
+                prop_assert_eq!(
+                    &r.out.matches, &reference.out.matches,
+                    "depth={} query_seed={} {:?}/{} shards", depth, query_seed, plan, shards
+                );
+                prop_assert_eq!(
+                    &r.out.stats, &reference.out.stats,
+                    "depth={} query_seed={} {:?}/{} shards", depth, query_seed, plan, shards
+                );
+            }
+        }
+    }
+}
+
+/// A fixed-seed sweep pinned for CI: deterministic regardless of
+/// `PROPTEST_CASES`, and the place to append seeds of any future field
+/// failures as permanent regression cases.
+#[test]
+fn fixed_seed_regression_sweep() {
+    const SEEDS: &[(u64, u64)] =
+        &[(0, 0), (1, 1), (7, 1913), (42, 42), (99, 3), (1234, 567), (2025, 729), (3999, 3999)];
+    for &(doc_seed, query_seed) in SEEDS {
+        check_case(doc_seed, query_seed);
+    }
+}
