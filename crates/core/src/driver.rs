@@ -19,10 +19,8 @@
 //! * **sink** — query logic: which machines see the event, what they do
 //!   with it.
 
-use std::io::Read;
-
 use vitex_xmlsax::event::{CharactersEvent, EndElementEvent, StartElementEvent};
-use vitex_xmlsax::{XmlEvent, XmlReader};
+use vitex_xmlsax::{EventSource, XmlEvent};
 
 use crate::error::EngineResult;
 use crate::intern::Symbol;
@@ -86,9 +84,13 @@ impl DocumentDriver {
     /// Runs `reader` to end of document, dispatching every event into
     /// `sink`, and reports the stream statistics. Node numbering restarts
     /// at 0 for each run.
-    pub fn run<R: Read, S: EventSink>(
+    ///
+    /// Any [`EventSource`] works: the sequential [`XmlReader`] or the
+    /// parallel [`vitex_xmlsax::ParallelReader`] — both deliver the same
+    /// stream, so everything downstream is front-end agnostic.
+    pub fn run<E: EventSource, S: EventSink>(
         &mut self,
-        mut reader: XmlReader<R>,
+        mut reader: E,
         sink: &mut S,
     ) -> EngineResult<StreamStats> {
         self.open_syms.clear();
@@ -134,6 +136,7 @@ impl DocumentDriver {
 mod tests {
     use super::*;
     use crate::intern::Interner;
+    use vitex_xmlsax::XmlReader;
 
     /// Records everything the driver hands it.
     struct Recorder {

@@ -8,10 +8,8 @@
 //! logic lives in [`crate::machine`]; all document plumbing lives in
 //! [`crate::driver`].
 
-use std::io::Read;
-
 use vitex_xmlsax::event::{CharactersEvent, EndElementEvent, StartElementEvent};
-use vitex_xmlsax::XmlReader;
+use vitex_xmlsax::{EventSource, XmlReader};
 use vitex_xpath::query_tree::QueryTree;
 
 use crate::builder::{BuildError, EvalMode, MachineSpec};
@@ -74,10 +72,11 @@ impl Engine {
 
     /// Streams `reader` through the machine, invoking `on_match` for every
     /// solution the moment it becomes decidable. Resets the machine first,
-    /// so an engine can be reused across documents.
-    pub fn run<R: Read, F: FnMut(Match)>(
+    /// so an engine can be reused across documents. Accepts any
+    /// [`EventSource`] (sequential or parallel front-end).
+    pub fn run<E: EventSource, F: FnMut(Match)>(
         &mut self,
-        reader: XmlReader<R>,
+        reader: E,
         on_match: F,
     ) -> EngineResult<EvalOutput> {
         self.machine.reset();
@@ -158,11 +157,9 @@ impl<F: FnMut(Match)> EventSink for EngineSink<'_, F> {
     }
 }
 
-/// Evaluates a prepared query tree over a reader, collecting all matches.
-pub fn evaluate_reader<R: Read>(
-    reader: XmlReader<R>,
-    tree: &QueryTree,
-) -> EngineResult<EvalOutput> {
+/// Evaluates a prepared query tree over any event source, collecting all
+/// matches.
+pub fn evaluate_reader<E: EventSource>(reader: E, tree: &QueryTree) -> EngineResult<EvalOutput> {
     let mut engine = Engine::new(tree)?;
     engine.run(reader, |_| {})
 }

@@ -52,10 +52,8 @@
 //! subscriber of a group leaves — no rebuild between runs, so long-lived
 //! pub/sub sessions can churn subscriptions mid-stream.
 
-use std::io::Read;
-
 use vitex_xmlsax::event::{CharactersEvent, EndElementEvent, StartElementEvent};
-use vitex_xmlsax::XmlReader;
+use vitex_xmlsax::EventSource;
 use vitex_xpath::query_tree::QueryTree;
 
 use crate::bitset::DynBitSet;
@@ -388,9 +386,9 @@ impl MultiEngine {
     /// fires with the originating query's id the moment a solution is
     /// decidable; a solution of a shared machine fires once per
     /// subscriber, in registration order.
-    pub fn run<R: Read, F: FnMut(QueryId, Match)>(
+    pub fn run<E: EventSource, F: FnMut(QueryId, Match)>(
         &mut self,
-        reader: XmlReader<R>,
+        reader: E,
         on_match: F,
     ) -> EngineResult<MultiOutput> {
         for g in self.planner.groups_mut() {
@@ -772,6 +770,7 @@ impl<F: FnMut(QueryId, Match)> EventSink for PrefixSink<'_, F> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use vitex_xmlsax::XmlReader;
 
     #[test]
     fn multiple_queries_one_scan() {

@@ -39,13 +39,12 @@ pub(crate) mod merge;
 pub(crate) mod worker;
 
 use std::collections::HashMap;
-use std::io::Read;
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::Arc;
 use std::thread;
 
 use vitex_xmlsax::event::{CharactersEvent, EndElementEvent, StartElementEvent};
-use vitex_xmlsax::XmlReader;
+use vitex_xmlsax::EventSource;
 use vitex_xpath::query_tree::QueryTree;
 
 use crate::driver::EventSink;
@@ -149,9 +148,9 @@ impl ShardedEngine {
 
     /// Streams one document; a one-document [`ShardedEngine::session`].
     /// With one shard this *is* [`MultiEngine::run`].
-    pub fn run<R: Read, F: FnMut(QueryId, Match)>(
+    pub fn run<E: EventSource, F: FnMut(QueryId, Match)>(
         &mut self,
-        reader: XmlReader<R>,
+        reader: E,
         on_match: F,
     ) -> EngineResult<MultiOutput> {
         if self.shards == 1 {
@@ -340,9 +339,9 @@ impl ShardSession<'_> {
     /// `on_match` fires on the calling thread, in single-threaded
     /// emission order, while the document is still streaming (held back
     /// only by the merge watermarks).
-    pub fn run_document<R: Read, F: FnMut(QueryId, Match)>(
+    pub fn run_document<E: EventSource, F: FnMut(QueryId, Match)>(
         &mut self,
-        reader: XmlReader<R>,
+        reader: E,
         on_match: F,
     ) -> EngineResult<MultiOutput> {
         match &mut self.inner {
@@ -379,9 +378,9 @@ struct ThreadedSession<'a> {
 }
 
 impl ThreadedSession<'_> {
-    fn run_document<R: Read, F: FnMut(QueryId, Match)>(
+    fn run_document<E: EventSource, F: FnMut(QueryId, Match)>(
         &mut self,
-        reader: XmlReader<R>,
+        reader: E,
         mut on_match: F,
     ) -> EngineResult<MultiOutput> {
         let mut matches: Vec<Vec<Match>> = self.record_groups.iter().map(|_| Vec::new()).collect();
@@ -694,6 +693,7 @@ impl<F: FnMut(QueryId, Match)> EventSink for DocPump<'_, F> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use vitex_xmlsax::XmlReader;
 
     #[test]
     fn round_robin_assignment_balances_and_orders() {

@@ -97,8 +97,39 @@ pub enum XmlErrorKind {
     },
 }
 
+/// Clone by hand: `io::Error` is not `Clone`, so the `Io` variant is
+/// reconstructed from its kind and message (the parallel front-end needs
+/// clonable errors to make a terminal error sticky).
+impl Clone for XmlErrorKind {
+    fn clone(&self) -> Self {
+        use XmlErrorKind::*;
+        match self {
+            Io(e) => Io(io::Error::new(e.kind(), e.to_string())),
+            UnexpectedEof { expected } => UnexpectedEof { expected },
+            InvalidUtf8 => InvalidUtf8,
+            InvalidChar { ch } => InvalidChar { ch: *ch },
+            InvalidName { name } => InvalidName { name: name.clone() },
+            Syntax { msg } => Syntax { msg: msg.clone() },
+            MismatchedTag { expected, found } => {
+                MismatchedTag { expected: expected.clone(), found: found.clone() }
+            }
+            UnbalancedEndTag { name } => UnbalancedEndTag { name: name.clone() },
+            TrailingContent => TrailingContent,
+            NoRootElement => NoRootElement,
+            TextOutsideRoot => TextOutsideRoot,
+            DuplicateAttribute { name } => DuplicateAttribute { name: name.clone() },
+            UnknownEntity { name } => UnknownEntity { name: name.clone() },
+            EntityExpansionLimit { what } => EntityExpansionLimit { what },
+            ExternalEntity { name } => ExternalEntity { name: name.clone() },
+            MarkupInEntity { name } => MarkupInEntity { name: name.clone() },
+            UnsupportedEncoding { encoding } => UnsupportedEncoding { encoding: encoding.clone() },
+            DepthLimit { max } => DepthLimit { max: *max },
+        }
+    }
+}
+
 /// A parse error: a kind plus the position where it was detected.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct XmlError {
     kind: XmlErrorKind,
     position: TextPosition,
@@ -123,6 +154,13 @@ impl XmlError {
     /// Where the error was detected.
     pub fn position(&self) -> TextPosition {
         self.position
+    }
+
+    /// The same error relocated to `position` — used by the parallel
+    /// front-end to rebase fragment-relative positions onto the document.
+    pub(crate) fn at(mut self, position: TextPosition) -> Self {
+        self.position = position;
+        self
     }
 
     /// Whether this error is an I/O error (as opposed to malformed XML).

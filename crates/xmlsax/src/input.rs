@@ -27,6 +27,8 @@ pub struct Scanner<R: Read> {
     /// The underlying reader reported end-of-stream.
     source_eof: bool,
     pos: TextPosition,
+    /// Whether class runs use the SWAR word-at-a-time scan.
+    wide: bool,
 }
 
 impl<R: Read> Scanner<R> {
@@ -44,7 +46,24 @@ impl<R: Read> Scanner<R> {
             end: 0,
             source_eof: false,
             pos: TextPosition::START,
+            wide: true,
         }
+    }
+
+    /// Creates a scanner whose position starts at `pos` instead of the
+    /// stream origin — used by the parallel front-end to parse a document
+    /// fragment while keeping byte offsets absolute.
+    pub(crate) fn with_capacity_at(source: R, capacity: usize, pos: TextPosition) -> Self {
+        let mut sc = Scanner::with_capacity(source, capacity);
+        sc.pos = pos;
+        sc
+    }
+
+    /// Enables or disables the SWAR wide scan inside class runs (enabled
+    /// by default). Disabling it forces the scalar per-byte loop — useful
+    /// for isolating the wide-scan speedup in benchmarks.
+    pub fn set_wide_scan(&mut self, wide: bool) {
+        self.wide = wide;
     }
 
     /// Current position (of the next unconsumed byte).
@@ -217,7 +236,7 @@ impl<R: Read> Scanner<R> {
         for (b, slot) in table.iter_mut().enumerate().take(0x80) {
             *slot = b as u8 != b'\r' && pred(b as u8);
         }
-        self.consume_class_run(&ByteClass(table), out)
+        self.consume_class_run(&ByteClass::new(table), out)
     }
 
     /// The memchr-style fast path: consumes the longest prefix of bytes
@@ -228,20 +247,35 @@ impl<R: Read> Scanner<R> {
     /// char-wise slow path keeps handling those. Returns how many bytes
     /// were consumed.
     pub fn consume_class_run(&mut self, class: &ByteClass, out: &mut String) -> XmlResult<usize> {
+        // The class is ASCII-only sans '\r'; safe to push as str.
+        self.consume_class_run_with(class, |run| {
+            out.push_str(std::str::from_utf8(run).expect("ascii run"))
+        })
+    }
+
+    /// Zero-copy variant of [`Scanner::consume_class_run`]: the run is
+    /// handed to `sink` as borrowed slices (one per buffer window crossed)
+    /// instead of being appended to a `String`. Callers that only need the
+    /// span — or that copy into their own storage — skip the intermediate
+    /// allocation entirely.
+    pub fn consume_class_run_with(
+        &mut self,
+        class: &ByteClass,
+        mut sink: impl FnMut(&[u8]),
+    ) -> XmlResult<usize> {
         let mut total = 0;
         loop {
             if self.buffered() == 0 && self.ensure(1)? == 0 {
                 break;
             }
             let window = &self.buf[self.start..self.end];
-            let n = match window.iter().position(|&b| !class.contains(b)) {
+            let n = match class.find_stop(window, self.wide) {
                 Some(0) => break,
                 Some(stop) => stop,
                 None => window.len(),
             };
             let run = &self.buf[self.start..self.start + n];
-            // The class is ASCII-only sans '\r'; safe to push as str.
-            out.push_str(std::str::from_utf8(run).expect("ascii run"));
+            sink(run);
             self.pos.advance_ascii_run(run);
             self.start += n;
             total += n;
@@ -250,6 +284,91 @@ impl<R: Read> Scanner<R> {
             }
         }
         Ok(total)
+    }
+
+    /// Consumes a class run without materializing it anywhere — the
+    /// borrowed-slice fast path for callers that discard the bytes (e.g.
+    /// whitespace skipping). Returns how many bytes were consumed.
+    pub fn skip_class_run(&mut self, class: &ByteClass) -> XmlResult<usize> {
+        self.consume_class_run_with(class, |_| {})
+    }
+}
+
+/// All-ones in the low bit of every lane of a `u64` (8 ASCII lanes).
+const LANE_LO: u64 = 0x0101_0101_0101_0101;
+/// The high bit of every lane.
+const LANE_HI: u64 = 0x8080_8080_8080_8080;
+
+/// SWAR companion of a [`ByteClass`]: the ASCII members decomposed into at
+/// most 8 contiguous ranges so an 8-byte word can be classified with a few
+/// adds and masks instead of 8 table lookups. Derived at `const` time from
+/// the membership table; classes too fragmented to decompose fall back to
+/// the scalar loop (`ok == false`).
+#[derive(Debug, Clone, Copy)]
+struct WideSpec {
+    /// Per-range lane-replicated add constants, precomputed at `const`
+    /// time: `((0x80 - lo) * LANE_LO, (0x7F - hi) * LANE_LO)` for member
+    /// range `lo..=hi`. Slots past `len` hold an empty range (`lo > hi`)
+    /// whose compare never flags a lane, so [`WideSpec::stop_mask`] can
+    /// run a fixed-trip, fully unrollable loop.
+    adds: [(u64, u64); 8],
+    ok: bool,
+}
+
+impl WideSpec {
+    /// The add-constant pair of the empty range `1..=0`: `gt_hi` flags
+    /// every lane, so `ge_lo & !gt_hi` contributes no members.
+    const NEVER: (u64, u64) = ((0x80 - 1) * LANE_LO, 0x7F * LANE_LO);
+
+    const fn derive(table: &[bool; 256]) -> WideSpec {
+        let mut adds = [WideSpec::NEVER; 8];
+        let mut len = 0;
+        let mut b = 0usize;
+        while b < 0x80 {
+            if table[b] {
+                let lo = b;
+                while b < 0x80 && table[b] {
+                    b += 1;
+                }
+                let hi = b - 1;
+                if len == adds.len() {
+                    return WideSpec { adds: [WideSpec::NEVER; 8], ok: false };
+                }
+                adds[len] = ((0x80 - lo as u64) * LANE_LO, (0x7F - hi as u64) * LANE_LO);
+                len += 1;
+            } else {
+                b += 1;
+            }
+        }
+        let _ = len;
+        WideSpec { adds, ok: true }
+    }
+
+    /// Returns a mask with `0x80` set in every lane of `x` that must stop
+    /// the run: bytes outside all member ranges, plus non-ASCII bytes.
+    ///
+    /// The per-range compare is the 7-bit trick `x + (0x80 - lo)` /
+    /// `x + (0x7F - hi)`: with the high bit masked off, lane sums never
+    /// exceed `0xFE`, so no carry crosses lanes and the result is *exact*
+    /// (unlike the classic `haszero` subtraction, which can smear borrows
+    /// upward).
+    #[inline(always)]
+    fn stop_mask(&self, x: u64) -> u64 {
+        let x7 = x & !LANE_HI;
+        let mut member = 0u64;
+        // Fixed trip count over the padded table (empty ranges are
+        // no-ops): no data-dependent branch, fully unrollable.
+        let mut r = 0usize;
+        while r < self.adds.len() {
+            let (add_lo, add_hi) = self.adds[r];
+            let ge_lo = x7.wrapping_add(add_lo) & LANE_HI;
+            let gt_hi = x7.wrapping_add(add_hi) & LANE_HI;
+            member |= ge_lo & !gt_hi;
+            r += 1;
+        }
+        // Non-ASCII lanes (high bit in x) stop regardless of what their
+        // low 7 bits looked like to the range compares.
+        (x | !member) & LANE_HI
     }
 }
 
@@ -262,7 +381,10 @@ impl<R: Read> Scanner<R> {
 /// must stop there so line-ending normalization and UTF-8 decoding stay in
 /// the char-wise slow path.
 #[derive(Debug, Clone)]
-pub struct ByteClass([bool; 256]);
+pub struct ByteClass {
+    table: [bool; 256],
+    wide: WideSpec,
+}
 
 impl ByteClass {
     /// Builds a class from a membership table (entries for `\r` and bytes
@@ -274,13 +396,62 @@ impl ByteClass {
             table[b] = false;
             b += 1;
         }
-        ByteClass(table)
+        ByteClass { wide: WideSpec::derive(&table), table }
     }
 
     /// Whether byte `b` belongs to the class.
     #[inline(always)]
     pub fn contains(&self, b: u8) -> bool {
-        self.0[b as usize]
+        self.table[b as usize]
+    }
+
+    /// Index of the first byte of `window` *not* in the class, or `None`
+    /// if every byte is a member. With `wide` set (and a decomposable
+    /// class) the window is classified 8 bytes per step via
+    /// [`WideSpec::stop_mask`]; the scalar loop handles the tail and
+    /// serves as the fallback.
+    #[inline]
+    pub(crate) fn find_stop(&self, window: &[u8], wide: bool) -> Option<usize> {
+        let mut i = 0;
+        if wide && self.wide.ok {
+            // Most runs are short (tag/attribute names average well under
+            // 8 bytes): probe the first word scalar-wise so they never
+            // pay the SWAR setup; only runs that survive it go wide.
+            let probe = window.len().min(8);
+            while i < probe {
+                if !self.contains(window[i]) {
+                    return Some(i);
+                }
+                i += 1;
+            }
+            // 16 bytes per iteration: the two words' mask computations
+            // have no data dependency, so they overlap in the pipeline.
+            while i + 16 <= window.len() {
+                let a = u64::from_le_bytes(window[i..i + 8].try_into().expect("8-byte chunk"));
+                let b = u64::from_le_bytes(window[i + 8..i + 16].try_into().expect("8-byte chunk"));
+                let sa = self.wide.stop_mask(a);
+                let sb = self.wide.stop_mask(b);
+                if sa | sb != 0 {
+                    // from_le_bytes puts window[i] in the least significant
+                    // lane on every host, so trailing_zeros finds the first.
+                    return Some(if sa != 0 {
+                        i + sa.trailing_zeros() as usize / 8
+                    } else {
+                        i + 8 + sb.trailing_zeros() as usize / 8
+                    });
+                }
+                i += 16;
+            }
+            if i + 8 <= window.len() {
+                let x = u64::from_le_bytes(window[i..i + 8].try_into().expect("8-byte chunk"));
+                let stops = self.wide.stop_mask(x);
+                if stops != 0 {
+                    return Some(i + stops.trailing_zeros() as usize / 8);
+                }
+                i += 8;
+            }
+        }
+        window[i..].iter().position(|&b| !self.contains(b)).map(|p| i + p)
     }
 }
 
@@ -453,5 +624,156 @@ mod tests {
         let mut sc = Scanner::with_capacity(Cursor::new(b"0123456789abcdef0123".to_vec()), 16);
         assert_eq!(sc.peek_at(18).unwrap(), Some(b'2'));
         assert_eq!(sc.next_char().unwrap(), Some('0'));
+    }
+
+    #[test]
+    fn wide_spec_decomposes_ranges() {
+        // Alphanumerics + ':' '_' '-' '.' — the NAME_RUN shape.
+        let class = ByteClass::new({
+            let mut t = [false; 256];
+            let mut b = 0usize;
+            while b < 0x80 {
+                let c = b as u8;
+                t[b] = c.is_ascii_alphanumeric() || matches!(c, b':' | b'_' | b'-' | b'.');
+                b += 1;
+            }
+            t
+        });
+        assert!(class.wide.ok);
+        // '-' '.' merge into one range (0x2D..=0x2E); ':' rides on '0'..='9':
+        // the class fits the 8-range budget, so `ok` held above.
+        for b in 0u8..=0x7F {
+            let member = class.contains(b);
+            let word = u64::from_le_bytes([b; 8]);
+            let stops = class.wide.stop_mask(word);
+            assert_eq!(stops == 0, member, "byte {b:#x}");
+        }
+    }
+
+    #[test]
+    fn wide_spec_rejects_fragmented_class() {
+        // Every other byte: 64 ranges, far past the 8-range budget.
+        let class = ByteClass::new({
+            let mut t = [false; 256];
+            let mut b = 0usize;
+            while b < 0x80 {
+                t[b] = b.is_multiple_of(2);
+                b += 1;
+            }
+            t
+        });
+        assert!(!class.wide.ok);
+        // find_stop still works via the scalar fallback.
+        assert_eq!(class.find_stop(b"\x00\x02\x04\x05", true), Some(3));
+    }
+
+    #[test]
+    fn find_stop_wide_matches_scalar_on_all_boundaries() {
+        static TEXTISH: ByteClass = ByteClass::new({
+            let mut t = [false; 256];
+            let mut b = 0usize;
+            while b < 0x80 {
+                let c = b as u8;
+                t[b] = !matches!(c, b'<' | b'&' | b']' | b'>')
+                    && (c >= 0x20 || c == b'\t' || c == b'\n');
+                b += 1;
+            }
+            t
+        });
+        // Stop byte at every lane position of the 8-byte word, plus in the
+        // scalar tail, plus high-bit and no-stop windows.
+        for stop_at in 0..20usize {
+            let mut window = vec![b'a'; 20];
+            for &stop in &[b'<', b'&', b'\r', 0x80u8, 0x00] {
+                window[stop_at] = stop;
+                let wide = TEXTISH.find_stop(&window, true);
+                let scalar = TEXTISH.find_stop(&window, false);
+                assert_eq!(wide, scalar, "stop {stop:#x} at {stop_at}");
+                assert_eq!(wide, Some(stop_at));
+                window[stop_at] = b'a';
+            }
+        }
+        assert_eq!(TEXTISH.find_stop(&[b'x'; 23], true), None);
+        assert_eq!(TEXTISH.find_stop(&[], true), None);
+    }
+
+    #[test]
+    fn wide_and_scalar_scan_agree_exhaustively() {
+        // Pseudo-random windows over the full byte range, wide vs scalar.
+        static TEXTISH: ByteClass = ByteClass::new({
+            let mut t = [false; 256];
+            let mut b = 0usize;
+            while b < 0x80 {
+                let c = b as u8;
+                t[b] = !matches!(c, b'<' | b'&') && (c >= 0x20 || c == b'\t' || c == b'\n');
+                b += 1;
+            }
+            t
+        });
+        let mut state = 0x9E37_79B9_7F4A_7C15u64;
+        for len in 0..64usize {
+            let mut window = Vec::with_capacity(len);
+            for _ in 0..len {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                window.push((state >> 56) as u8);
+            }
+            assert_eq!(
+                TEXTISH.find_stop(&window, true),
+                TEXTISH.find_stop(&window, false),
+                "window {window:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn skip_class_run_consumes_without_output() {
+        static WS: ByteClass = ByteClass::new({
+            let mut t = [false; 256];
+            t[b' ' as usize] = true;
+            t[b'\t' as usize] = true;
+            t[b'\n' as usize] = true;
+            t
+        });
+        let mut sc = scan("  \n\t x");
+        let n = sc.skip_class_run(&WS).unwrap();
+        assert_eq!(n, 5);
+        assert_eq!(sc.peek_byte().unwrap(), Some(b'x'));
+        assert_eq!(sc.position().line, 2);
+        assert_eq!(sc.position().column, 3);
+    }
+
+    #[test]
+    fn consume_class_run_with_borrows_slices() {
+        static ALPHA: ByteClass = ByteClass::new({
+            let mut t = [false; 256];
+            let mut b = 0usize;
+            while b < 0x80 {
+                t[b] = (b as u8).is_ascii_alphabetic();
+                b += 1;
+            }
+            t
+        });
+        let text = format!("{}9", "abcd".repeat(10));
+        let mut sc = Scanner::with_capacity(Cursor::new(text.into_bytes()), 16);
+        let mut collected = Vec::new();
+        let n = sc.consume_class_run_with(&ALPHA, |run| collected.extend_from_slice(run)).unwrap();
+        assert_eq!(n, 40);
+        assert_eq!(collected, "abcd".repeat(10).into_bytes());
+        assert_eq!(sc.peek_byte().unwrap(), Some(b'9'));
+    }
+
+    #[test]
+    fn scalar_mode_matches_wide_mode_end_to_end() {
+        static ALL: ByteClass = ByteClass::new([true; 256]);
+        let text = format!("{}\n{}\x7f tail", "run ".repeat(50), "line".repeat(9));
+        for wide in [true, false] {
+            let mut sc = Scanner::with_capacity(Cursor::new(text.clone().into_bytes()), 32);
+            sc.set_wide_scan(wide);
+            let mut out = String::new();
+            let n = sc.consume_class_run(&ALL, &mut out).unwrap();
+            assert_eq!(n, text.len(), "wide={wide}");
+            assert_eq!(out, text);
+            assert_eq!(sc.position().line, 2);
+        }
     }
 }

@@ -72,6 +72,7 @@ pub mod escape;
 pub mod event;
 pub mod input;
 pub mod name;
+pub mod par;
 pub mod pos;
 pub mod push;
 pub mod reader;
@@ -80,5 +81,6 @@ pub mod writer;
 pub use error::{XmlError, XmlErrorKind, XmlResult};
 pub use event::{Attribute, CharactersEvent, EndElementEvent, StartElementEvent, XmlEvent};
 pub use name::QName;
+pub use par::{ParStats, ParallelConfig, ParallelReader};
 pub use pos::TextPosition;
-pub use reader::{ReaderConfig, XmlReader};
+pub use reader::{EventSource, ReaderConfig, XmlReader};

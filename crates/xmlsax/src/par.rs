@@ -1,0 +1,755 @@
+//! Speculative chunked parsing — the parallel parse front-end.
+//!
+//! The sequential [`XmlReader`] is a single-core pipeline; once machine
+//! execution is sharded across threads (vitex-core PR 4/5), parsing becomes
+//! the end-to-end ceiling. This module breaks that ceiling while keeping
+//! the *observable* event stream byte-identical to the sequential reader:
+//!
+//! 1. **Split.** The (fully buffered) document is cut at candidate chunk
+//!    boundaries, each snapped forward to the next `<` byte. `<` cannot
+//!    appear in character data or attribute values, so inside element
+//!    content every `<` starts markup — the only constructs a `<` can be
+//!    *inside* are comments, CDATA sections, PIs and the DOCTYPE (handled
+//!    below).
+//! 2. **Speculate.** Worker threads parse each chunk as a *document
+//!    fragment* ([`XmlReader::fragment`]): parsing starts in content state,
+//!    end tags without a local open element are emitted for later
+//!    resolution, and byte offsets are absolute while line/column restart
+//!    at 1:1. Each worker records the event run, its stop offset, and any
+//!    parse error.
+//! 3. **Reconcile.** The coordinating thread replays fragments in order.
+//!    A fragment is accepted only if it starts exactly where the previous
+//!    one stopped; a boundary that was inside a comment/CDATA/PI makes the
+//!    previous fragment overshoot it, so the misparsed speculation is
+//!    discarded and the hole is re-parsed inline (bounded waste: at worst
+//!    the document is parsed twice). During replay the coordinator keeps
+//!    the one global open-element stack, so *cross-chunk* well-formedness
+//!    (tag matching, depth limits, single root, no text outside the root)
+//!    is enforced with the same errors and positions as the sequential
+//!    reader, and every event's level, element span, and line/column are
+//!    rebased to document-absolute values.
+//!
+//! Documents with a DOCTYPE fall back to the sequential reader outright:
+//! internal-subset entity declarations would have to be visible to workers
+//! that may already be parsing ahead of the declaration.
+//!
+//! The trade: the sequential reader holds O(window) memory; the parallel
+//! front-end buffers the document and its speculated events. Use it for
+//! throughput, not footprint.
+
+use std::io::Cursor;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use crate::error::{XmlError, XmlErrorKind, XmlResult};
+use crate::event::XmlEvent;
+use crate::name::QName;
+use crate::pos::{ByteSpan, TextPosition};
+use crate::reader::{EventSource, ReaderConfig, XmlReader};
+
+/// Chunks smaller than this are not worth a thread hop; the splitter
+/// lowers the chunk count instead.
+const MIN_CHUNK_BYTES: usize = 32 * 1024;
+
+/// Configuration for [`ParallelReader`].
+///
+/// The default has `threads: 0` (sequential), no explicit chunk size,
+/// and the default [`ReaderConfig`].
+#[derive(Debug, Clone, Default)]
+pub struct ParallelConfig {
+    /// Worker thread count. `0` or `1` selects the sequential reader
+    /// (bit-identical by construction, not just by reconciliation).
+    pub threads: usize,
+    /// Explicit candidate chunk size in bytes (each boundary still snaps
+    /// to the next `<`). `None` sizes chunks from the document length and
+    /// thread count. Small explicit sizes are for seam testing.
+    pub chunk_bytes: Option<usize>,
+    /// Configuration for the underlying readers (fragment workers inherit
+    /// everything except `max_depth`, which the coordinator enforces
+    /// globally).
+    pub reader: ReaderConfig,
+}
+
+/// Counters describing how a parallel parse went.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ParStats {
+    /// Fragments parsed speculatively on workers (including chunk 0).
+    pub chunks: usize,
+    /// Speculative fragments discarded because a boundary fell inside an
+    /// opaque construct and the predecessor overshot it.
+    pub misspeculated: usize,
+    /// Holes re-parsed inline on the coordinating thread.
+    pub reparsed: usize,
+    /// The document had a DOCTYPE (or a degenerate shape) and was handed
+    /// to the sequential reader wholesale.
+    pub sequential_fallback: bool,
+}
+
+/// One speculatively parsed chunk.
+struct Fragment {
+    /// Absolute byte offset the parse started at.
+    start: u64,
+    /// Absolute byte offset the parse stopped at (first event boundary at
+    /// or past the chunk's target end — possibly far past it on
+    /// misspeculation).
+    end: u64,
+    /// Reader position at `end`: absolute for chunk 0, fragment-relative
+    /// (line/column restart at 1:1) otherwise.
+    end_pos: TextPosition,
+    /// The event run. `EndDocument` is never stored.
+    events: Vec<XmlEvent>,
+    /// Terminal parse error, if the chunk ended in one.
+    error: Option<XmlError>,
+    /// Whether positions in `events`/`error` are already absolute
+    /// (chunk 0 runs the ordinary reader from the document start).
+    absolute: bool,
+}
+
+/// An element the replay has open, for span/name resolution.
+struct OpenElem {
+    name: QName,
+    start_offset: u64,
+}
+
+/// The parallel counterpart of [`XmlReader`]: same event stream, produced
+/// by speculative chunk parsing on worker threads. See the module docs.
+///
+/// All worker parsing happens in the constructor; [`next_event`] replays
+/// the reconciled stream (re-parsing misspeculated holes inline as it
+/// goes).
+///
+/// [`next_event`]: EventSource::next_event
+pub struct ParallelReader {
+    inner: Inner,
+}
+
+enum Inner {
+    /// Sequential fallback: 0/1 threads, DOCTYPE, or empty input.
+    Seq {
+        reader: Box<XmlReader<Cursor<Vec<u8>>>>,
+        stats: ParStats,
+    },
+    Par(Box<Replay>),
+}
+
+impl ParallelReader {
+    /// Parses `bytes` on `threads` worker threads with default reader
+    /// configuration.
+    pub fn from_bytes(bytes: Vec<u8>, threads: usize) -> Self {
+        ParallelReader::with_config(bytes, ParallelConfig { threads, ..ParallelConfig::default() })
+    }
+
+    /// Parses a string slice (tests and small inputs).
+    #[allow(clippy::should_implement_trait)]
+    pub fn from_str(s: &str, threads: usize) -> Self {
+        ParallelReader::from_bytes(s.as_bytes().to_vec(), threads)
+    }
+
+    /// Parses with explicit configuration.
+    pub fn with_config(bytes: Vec<u8>, config: ParallelConfig) -> Self {
+        let boundaries = if config.threads > 1 && !has_doctype(&bytes) {
+            split_points(&bytes, config.threads, config.chunk_bytes)
+        } else {
+            Vec::new()
+        };
+        if boundaries.is_empty() {
+            let stats = ParStats { sequential_fallback: true, ..ParStats::default() };
+            let reader =
+                Box::new(XmlReader::with_config(Cursor::new(bytes), config.reader.clone()));
+            return ParallelReader { inner: Inner::Seq { reader, stats } };
+        }
+        let frags = parse_chunks(&bytes, &boundaries, config.threads, &config.reader);
+        let stats = ParStats { chunks: frags.len(), ..ParStats::default() };
+        ParallelReader {
+            inner: Inner::Par(Box::new(Replay {
+                bytes,
+                config: config.reader,
+                frags: frags.into_iter().map(Some).collect(),
+                next_frag: 0,
+                cur: None,
+                cur_event: 0,
+                cursor: 0,
+                base: TextPosition::START,
+                open: Vec::new(),
+                root_seen: false,
+                done: false,
+                failed: None,
+                stats,
+            })),
+        }
+    }
+
+    /// Counters for this parse (all zeros except `sequential_fallback`
+    /// when the fallback was taken).
+    pub fn stats(&self) -> ParStats {
+        match &self.inner {
+            Inner::Seq { stats, .. } => *stats,
+            Inner::Par(replay) => replay.stats,
+        }
+    }
+
+    /// Convenience: runs the stream to completion, returning all events
+    /// including the final `EndDocument` (mirrors
+    /// [`XmlReader::collect_events`]).
+    pub fn collect_events(mut self) -> XmlResult<Vec<XmlEvent>> {
+        let mut events = Vec::new();
+        loop {
+            let e = self.next_event()?;
+            let done = e.is_end_document();
+            events.push(e);
+            if done {
+                return Ok(events);
+            }
+        }
+    }
+}
+
+impl EventSource for ParallelReader {
+    fn next_event(&mut self) -> XmlResult<XmlEvent> {
+        match &mut self.inner {
+            Inner::Seq { reader, .. } => reader.next_event(),
+            Inner::Par(replay) => replay.next_event(),
+        }
+    }
+}
+
+// ------------------------------------------------------------------ //
+// Splitting
+// ------------------------------------------------------------------ //
+
+/// Fragment start offsets after chunk 0, each snapped to the next `<` at
+/// or past a size-based candidate. Empty if the document is too small to
+/// split.
+fn split_points(bytes: &[u8], threads: usize, chunk_bytes: Option<usize>) -> Vec<u64> {
+    let len = bytes.len();
+    let chunk = match chunk_bytes {
+        Some(c) => c.max(1),
+        // Over-split relative to the thread count so the work-stealing
+        // loop can balance fragments of uneven parse cost.
+        None => (len / (threads * 4).max(1)).max(MIN_CHUNK_BYTES),
+    };
+    let mut points = Vec::new();
+    let mut candidate = chunk;
+    while candidate < len {
+        match bytes[candidate..].iter().position(|&b| b == b'<') {
+            Some(rel) => {
+                let at = candidate + rel;
+                if at >= len {
+                    break;
+                }
+                if points.last() != Some(&(at as u64)) && at > 0 {
+                    points.push(at as u64);
+                }
+                candidate = at.max(candidate) + chunk.max(1);
+            }
+            None => break,
+        }
+    }
+    points
+}
+
+/// Whether the prolog contains a DOCTYPE (entity declarations cannot be
+/// made visible to workers already parsing ahead of them, so such
+/// documents take the sequential path).
+fn has_doctype(bytes: &[u8]) -> bool {
+    let mut i = if bytes.starts_with(b"\xEF\xBB\xBF") { 3 } else { 0 };
+    loop {
+        while i < bytes.len() && matches!(bytes[i], b' ' | b'\t' | b'\n' | b'\r') {
+            i += 1;
+        }
+        let rest = &bytes[i..];
+        if rest.is_empty() || rest[0] != b'<' {
+            return false;
+        }
+        if rest.starts_with(b"<!--") {
+            match find_sub(&bytes[i + 4..], b"-->") {
+                Some(j) => i += 4 + j + 3,
+                None => return false,
+            }
+        } else if rest.starts_with(b"<?") {
+            match find_sub(&bytes[i + 2..], b"?>") {
+                Some(j) => i += 2 + j + 2,
+                None => return false,
+            }
+        } else if rest.starts_with(b"<!DOCTYPE") {
+            return true;
+        } else {
+            // Root start tag (or malformed markup the parse will reject).
+            return false;
+        }
+    }
+}
+
+fn find_sub(haystack: &[u8], needle: &[u8]) -> Option<usize> {
+    haystack.windows(needle.len()).position(|w| w == needle)
+}
+
+// ------------------------------------------------------------------ //
+// Speculative workers
+// ------------------------------------------------------------------ //
+
+/// Parses chunk 0 (ordinary reader, absolute positions) and every
+/// boundary-delimited fragment on up to `threads` scoped worker threads,
+/// stealing chunks from a shared counter.
+fn parse_chunks(
+    bytes: &[u8],
+    boundaries: &[u64],
+    threads: usize,
+    config: &ReaderConfig,
+) -> Vec<Fragment> {
+    let n = boundaries.len() + 1;
+    let target_end = |i: usize| -> u64 {
+        if i < boundaries.len() {
+            boundaries[i]
+        } else {
+            bytes.len() as u64
+        }
+    };
+    let next = AtomicUsize::new(0);
+    let workers = threads.min(n).max(1);
+    let mut slots: Vec<Option<Fragment>> = (0..n).map(|_| None).collect();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let next = &next;
+                s.spawn(move || {
+                    let mut produced = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        let frag = if i == 0 {
+                            parse_prefix(bytes, target_end(0), config)
+                        } else {
+                            parse_fragment(bytes, boundaries[i - 1], target_end(i), config)
+                        };
+                        produced.push((i, frag));
+                    }
+                    produced
+                })
+            })
+            .collect();
+        for handle in handles {
+            for (i, frag) in handle.join().expect("parse worker panicked") {
+                slots[i] = Some(frag);
+            }
+        }
+    });
+    slots.into_iter().map(|f| f.expect("all chunks parsed")).collect()
+}
+
+/// Chunk 0: the ordinary sequential reader over the document prefix, so
+/// the prolog (BOM, XML declaration, comments, PIs) and the root start are
+/// handled with fully absolute state.
+fn parse_prefix(bytes: &[u8], target_end: u64, config: &ReaderConfig) -> Fragment {
+    let reader = XmlReader::with_config(Cursor::new(bytes), config.clone());
+    drive(reader, 0, target_end, true)
+}
+
+/// A speculative fragment: starts at `start` (a `<` byte) in content
+/// state. Depth limits are deferred to the replay, which knows absolute
+/// depths.
+fn parse_fragment(bytes: &[u8], start: u64, target_end: u64, config: &ReaderConfig) -> Fragment {
+    let mut cfg = config.clone();
+    cfg.max_depth = usize::MAX;
+    let origin = TextPosition::new(start, 1, 1);
+    let reader = XmlReader::fragment(Cursor::new(&bytes[start as usize..]), cfg, origin);
+    drive(reader, start, target_end, false)
+}
+
+/// Pulls events until the reader's cursor reaches `target_end` with no
+/// deferred self-closing end tag pending, recording a terminal error in
+/// place of further events. `EndDocument` is consumed but not stored —
+/// the coordinator decides how the *document* ends.
+fn drive<R: std::io::Read>(
+    mut reader: XmlReader<R>,
+    start: u64,
+    target_end: u64,
+    absolute: bool,
+) -> Fragment {
+    let mut events = Vec::new();
+    let mut error = None;
+    while reader.offset() < target_end || reader.has_pending_end() {
+        match reader.next_event() {
+            Ok(ev) => {
+                if ev.is_end_document() {
+                    break;
+                }
+                events.push(ev);
+            }
+            Err(e) => {
+                error = Some(e);
+                break;
+            }
+        }
+    }
+    Fragment { start, end: reader.offset(), end_pos: reader.position(), events, error, absolute }
+}
+
+// ------------------------------------------------------------------ //
+// Reconciling replay
+// ------------------------------------------------------------------ //
+
+/// Replay state: walks accepted fragments in document order, re-parsing
+/// misspeculated holes, maintaining the single global open-element stack,
+/// and rebasing positions/levels/spans to absolute values.
+struct Replay {
+    bytes: Vec<u8>,
+    config: ReaderConfig,
+    /// Speculated fragments in document order; `frags[0]` is chunk 0.
+    /// Slots are taken as they become current.
+    frags: Vec<Option<Fragment>>,
+    next_frag: usize,
+    cur: Option<Fragment>,
+    cur_event: usize,
+    /// Absolute offset the next accepted fragment must start at.
+    cursor: u64,
+    /// Absolute position at `cursor` (base for rebasing the current
+    /// fragment's relative line/column values).
+    base: TextPosition,
+    open: Vec<OpenElem>,
+    root_seen: bool,
+    done: bool,
+    /// Sticky terminal error: once returned, returned again.
+    failed: Option<XmlError>,
+    stats: ParStats,
+}
+
+impl Replay {
+    fn next_event(&mut self) -> XmlResult<XmlEvent> {
+        if let Some(err) = &self.failed {
+            return Err(err.clone());
+        }
+        if self.done {
+            return Ok(XmlEvent::EndDocument);
+        }
+        loop {
+            // Ensure a current fragment (accepting, discarding, or
+            // re-parsing as needed); none left means the document is done.
+            if self.cur.is_none() && !self.advance_fragment() {
+                return self.finish();
+            }
+            let next = {
+                let frag = self.cur.as_mut().expect("current fragment");
+                if self.cur_event < frag.events.len() {
+                    // Take ownership; the slot is never revisited.
+                    let ev =
+                        std::mem::replace(&mut frag.events[self.cur_event], XmlEvent::EndDocument);
+                    self.cur_event += 1;
+                    Some((ev, frag.absolute))
+                } else {
+                    None
+                }
+            };
+            match next {
+                Some((ev, absolute)) => match self.replay_event(ev, absolute) {
+                    Ok(Some(out)) => return Ok(out),
+                    Ok(None) => continue, // suppressed (e.g. prolog/epilog whitespace)
+                    Err(e) => return Err(self.fail(e)),
+                },
+                None => {
+                    // Fragment exhausted: surface its terminal error, else
+                    // move the cursor to its stop point.
+                    let frag = self.cur.take().expect("current fragment");
+                    self.cur_event = 0;
+                    if let Some(err) = frag.error {
+                        let err = if frag.absolute {
+                            err
+                        } else {
+                            let pos = self.rebase(err.position());
+                            err.at(pos)
+                        };
+                        return Err(self.fail(err));
+                    }
+                    self.cursor = frag.end;
+                    self.base =
+                        if frag.absolute { frag.end_pos } else { compose(self.base, frag.end_pos) };
+                }
+            }
+        }
+    }
+
+    /// Selects the fragment starting exactly at `cursor`: skips
+    /// speculations the previous fragment overshot, re-parses the hole
+    /// inline when the next speculation starts too far ahead. Returns
+    /// `false` when the document is exhausted.
+    fn advance_fragment(&mut self) -> bool {
+        while self.next_frag < self.frags.len() {
+            let start = self.frags[self.next_frag].as_ref().expect("unconsumed fragment").start;
+            if start < self.cursor {
+                self.frags[self.next_frag] = None;
+                self.next_frag += 1;
+                self.stats.misspeculated += 1;
+            } else {
+                break;
+            }
+        }
+        if self.next_frag < self.frags.len() {
+            let start = self.frags[self.next_frag].as_ref().expect("unconsumed fragment").start;
+            if start == self.cursor {
+                self.cur = self.frags[self.next_frag].take();
+                self.cur_event = 0;
+                self.next_frag += 1;
+                return true;
+            }
+        }
+        if self.cursor >= self.bytes.len() as u64 {
+            return false;
+        }
+        // Hole: the accepted stream stopped short of the next speculation
+        // (or of document end). Re-parse it inline up to that point.
+        let target = match self.frags.get(self.next_frag).and_then(|f| f.as_ref()) {
+            Some(f) => f.start,
+            None => self.bytes.len() as u64,
+        };
+        self.stats.reparsed += 1;
+        self.cur = Some(parse_fragment(&self.bytes, self.cursor, target, &self.config));
+        self.cur_event = 0;
+        true
+    }
+
+    /// Applies global well-formedness and position/level/span fixups to
+    /// one speculated event. `Ok(None)` drops the event (whitespace
+    /// outside the root).
+    fn replay_event(&mut self, ev: XmlEvent, absolute: bool) -> XmlResult<Option<XmlEvent>> {
+        Ok(Some(match ev {
+            XmlEvent::StartDocument { .. }
+            | XmlEvent::DoctypeDeclaration { .. }
+            | XmlEvent::Comment(_) => ev,
+            XmlEvent::ProcessingInstruction(mut e) => {
+                if !absolute {
+                    e.position = self.rebase(e.position);
+                }
+                XmlEvent::ProcessingInstruction(e)
+            }
+            XmlEvent::StartElement(mut e) => {
+                if !absolute {
+                    e.position = self.rebase(e.position);
+                }
+                if self.open.is_empty() {
+                    if self.root_seen {
+                        return Err(XmlError::new(XmlErrorKind::TrailingContent, e.position));
+                    }
+                    self.root_seen = true;
+                }
+                if self.open.len() >= self.config.max_depth {
+                    return Err(XmlError::new(
+                        XmlErrorKind::DepthLimit { max: self.config.max_depth },
+                        e.position,
+                    ));
+                }
+                self.open.push(OpenElem { name: e.name.clone(), start_offset: e.span.start });
+                e.level = self.open.len() as u32;
+                XmlEvent::StartElement(e)
+            }
+            XmlEvent::EndElement(mut e) => {
+                if !absolute {
+                    e.position = self.rebase(e.position);
+                }
+                let top = match self.open.pop() {
+                    Some(top) => top,
+                    None => {
+                        return Err(XmlError::new(
+                            XmlErrorKind::UnbalancedEndTag { name: e.name.as_str().into() },
+                            e.position,
+                        ))
+                    }
+                };
+                if top.name != e.name {
+                    return Err(XmlError::new(
+                        XmlErrorKind::MismatchedTag {
+                            expected: top.name.as_str().into(),
+                            found: e.name.as_str().into(),
+                        },
+                        e.position,
+                    ));
+                }
+                e.level = (self.open.len() + 1) as u32;
+                e.element_span = ByteSpan::new(top.start_offset, e.element_span.end);
+                XmlEvent::EndElement(e)
+            }
+            XmlEvent::Characters(mut e) => {
+                if !absolute {
+                    e.position = self.rebase(e.position);
+                }
+                if self.open.is_empty() {
+                    if e.is_whitespace {
+                        // Whitespace between top-level constructs is
+                        // consumed silently, as the sequential reader does
+                        // in prolog/epilog state.
+                        return Ok(None);
+                    }
+                    // Error at the first non-whitespace character, like
+                    // the sequential reader. When the raw span maps 1:1
+                    // onto decoded chars (no entities, no multi-byte) the
+                    // exact position is recoverable; otherwise report the
+                    // run start.
+                    let mut pos = e.position;
+                    if e.span.len() == e.text.len() as u64 {
+                        for c in e.text.chars() {
+                            if matches!(c, ' ' | '\t' | '\n') {
+                                pos.advance(c, 1);
+                            } else {
+                                break;
+                            }
+                        }
+                    }
+                    return Err(XmlError::new(XmlErrorKind::TextOutsideRoot, pos));
+                }
+                e.level = self.open.len() as u32;
+                XmlEvent::Characters(e)
+            }
+            XmlEvent::EndDocument => unreachable!("drive() never stores EndDocument"),
+        }))
+    }
+
+    /// Document end: enforce the whole-document conditions the sequential
+    /// reader checks at EOF.
+    fn finish(&mut self) -> XmlResult<XmlEvent> {
+        let pos = self.base;
+        if !self.open.is_empty() {
+            return Err(self.fail(XmlError::new(
+                XmlErrorKind::UnexpectedEof { expected: "end tags for open elements" },
+                pos,
+            )));
+        }
+        if !self.root_seen {
+            return Err(self.fail(XmlError::new(XmlErrorKind::NoRootElement, pos)));
+        }
+        self.done = true;
+        Ok(XmlEvent::EndDocument)
+    }
+
+    fn rebase(&self, rel: TextPosition) -> TextPosition {
+        compose(self.base, rel)
+    }
+
+    fn fail(&mut self, err: XmlError) -> XmlError {
+        self.failed = Some(err.clone());
+        err
+    }
+}
+
+/// Rebases a fragment-relative position onto the absolute position of the
+/// fragment's first byte. Offsets are already absolute (fragment scanners
+/// start at the true byte offset); lines add up with a shared origin; the
+/// column only needs rebasing while still on the fragment's first line.
+fn compose(base: TextPosition, rel: TextPosition) -> TextPosition {
+    TextPosition {
+        offset: rel.offset,
+        line: base.line + (rel.line - 1),
+        column: if rel.line > 1 { rel.column } else { base.column + (rel.column - 1) },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq_events(xml: &str) -> XmlResult<Vec<XmlEvent>> {
+        XmlReader::from_str(xml).collect_events()
+    }
+
+    fn par_events(xml: &str, chunk: usize) -> XmlResult<Vec<XmlEvent>> {
+        ParallelReader::with_config(
+            xml.as_bytes().to_vec(),
+            ParallelConfig {
+                threads: 3,
+                chunk_bytes: Some(chunk),
+                reader: ReaderConfig::default(),
+            },
+        )
+        .collect_events()
+    }
+
+    fn assert_equivalent(xml: &str, chunk: usize) {
+        let seq = seq_events(xml);
+        let par = par_events(xml, chunk);
+        match (&seq, &par) {
+            (Ok(a), Ok(b)) => assert_eq!(a, b, "chunk={chunk} xml={xml:?}"),
+            (Err(a), Err(b)) => {
+                assert_eq!(a.to_string(), b.to_string(), "chunk={chunk} xml={xml:?}")
+            }
+            _ => panic!("divergence at chunk={chunk} xml={xml:?}:\nseq={seq:?}\npar={par:?}"),
+        }
+    }
+
+    #[test]
+    fn simple_document_all_chunk_sizes() {
+        let xml = "<a><b x='1'>hi</b><c/>text<d>more</d></a>";
+        for chunk in 1..=xml.len() {
+            assert_equivalent(xml, chunk);
+        }
+    }
+
+    #[test]
+    fn multiline_positions_survive_rebasing() {
+        let xml = "<root>\n  <item id=\"1\">alpha</item>\n  <item id=\"2\">beta</item>\n</root>\n";
+        for chunk in [1, 3, 7, 16, 64] {
+            assert_equivalent(xml, chunk);
+        }
+    }
+
+    #[test]
+    fn seam_inside_comment_and_cdata_misspeculates_correctly() {
+        let xml = "<r>pre<!-- a <fake> tag --><x/><![CDATA[raw <y> &amp; stuff]]>post</r>";
+        for chunk in 1..=xml.len() {
+            assert_equivalent(xml, chunk);
+        }
+    }
+
+    #[test]
+    fn cross_chunk_mismatched_tag_error_is_identical() {
+        let xml = "<a><b>text</a></b>";
+        for chunk in [1, 4, 9, 64] {
+            assert_equivalent(xml, chunk);
+        }
+    }
+
+    #[test]
+    fn doctype_falls_back_to_sequential() {
+        let xml = "<!DOCTYPE r [<!ENTITY e \"ha\">]><r>&e;</r>";
+        let par = ParallelReader::from_str(xml, 4);
+        assert!(par.stats().sequential_fallback);
+        assert_eq!(par.collect_events().unwrap(), seq_events(xml).unwrap());
+    }
+
+    #[test]
+    fn zero_and_one_thread_are_sequential() {
+        for threads in [0, 1] {
+            let par = ParallelReader::from_str("<r><a/></r>", threads);
+            assert!(par.stats().sequential_fallback);
+            assert_eq!(par.collect_events().unwrap(), seq_events("<r><a/></r>").unwrap());
+        }
+    }
+
+    #[test]
+    fn end_document_is_sticky() {
+        let mut par = ParallelReader::with_config(
+            b"<r>aaaa</r>".to_vec(),
+            ParallelConfig { threads: 2, chunk_bytes: Some(4), reader: ReaderConfig::default() },
+        );
+        loop {
+            if par.next_event().unwrap().is_end_document() {
+                break;
+            }
+        }
+        assert!(par.next_event().unwrap().is_end_document());
+        assert!(par.next_event().unwrap().is_end_document());
+    }
+
+    #[test]
+    fn error_is_sticky() {
+        let mut par = ParallelReader::with_config(
+            b"<r><a>text</b></r>".to_vec(),
+            ParallelConfig { threads: 2, chunk_bytes: Some(5), reader: ReaderConfig::default() },
+        );
+        let first = loop {
+            match par.next_event() {
+                Ok(_) => continue,
+                Err(e) => break e.to_string(),
+            }
+        };
+        assert_eq!(par.next_event().unwrap_err().to_string(), first);
+    }
+}

@@ -49,14 +49,40 @@ impl TextPosition {
     /// scanner's byte classes exclude it) in bulk: one newline scan per
     /// run instead of a branch per byte. Equivalent to calling
     /// [`TextPosition::advance`] for each byte.
+    ///
+    /// Newlines are counted 8 bytes at a time with an exact SWAR zero-lane
+    /// mask (`!((y7 + 0x7F·) | y) & 0x80·` where `y = x ^ '\n'·`): lane
+    /// sums never exceed `0xFE`, so no carry crosses lanes and the mask
+    /// has one bit per `\n`, with no false positives.
     pub(crate) fn advance_ascii_run(&mut self, run: &[u8]) {
         debug_assert!(run.is_ascii() && !run.contains(&b'\r'));
+        const LANE_LO: u64 = 0x0101_0101_0101_0101;
+        const LANE_HI: u64 = 0x8080_8080_8080_8080;
         self.offset += run.len() as u64;
-        match run.iter().rposition(|&b| b == b'\n') {
+        let mut newlines = 0u32;
+        let mut last: Option<usize> = None;
+        let mut i = 0usize;
+        while i + 8 <= run.len() {
+            let x = u64::from_le_bytes(run[i..i + 8].try_into().expect("8-byte chunk"));
+            let y = x ^ (LANE_LO * b'\n' as u64);
+            let m = !((y & !LANE_HI).wrapping_add(!LANE_HI) | y) & LANE_HI;
+            if m != 0 {
+                newlines += m.count_ones();
+                last = Some(i + 7 - m.leading_zeros() as usize / 8);
+            }
+            i += 8;
+        }
+        for (j, &b) in run[i..].iter().enumerate() {
+            if b == b'\n' {
+                newlines += 1;
+                last = Some(i + j);
+            }
+        }
+        match last {
             None => self.column += run.len() as u32,
-            Some(last) => {
-                self.line += run.iter().filter(|&&b| b == b'\n').count() as u32;
-                self.column = (run.len() - last) as u32;
+            Some(p) => {
+                self.line += newlines;
+                self.column = (run.len() - p) as u32;
             }
         }
     }
@@ -146,6 +172,39 @@ mod tests {
                 slow.advance(b as char, 1);
             }
             assert_eq!(bulk, slow, "run {run:?}");
+        }
+    }
+
+    #[test]
+    fn advance_ascii_run_wide_path_matches_per_char_advance() {
+        // Runs long enough to exercise the 8-byte SWAR loop, with newlines
+        // placed in every lane and in the scalar tail.
+        for nl_at in 0..27usize {
+            let mut run = vec![b'q'; 27];
+            run[nl_at] = b'\n';
+            if nl_at >= 3 {
+                run[nl_at - 3] = b'\n'; // two newlines in mixed lanes
+            }
+            let mut bulk = TextPosition::new(11, 4, 9);
+            let mut slow = bulk;
+            bulk.advance_ascii_run(&run);
+            for &b in &run {
+                slow.advance(b as char, 1);
+            }
+            assert_eq!(bulk, slow, "newline at {nl_at}");
+        }
+        // All newlines, and no newlines, across lane-multiple lengths.
+        for len in [8usize, 16, 24, 31] {
+            for byte in [b'\n', b' '] {
+                let run = vec![byte; len];
+                let mut bulk = TextPosition::START;
+                let mut slow = bulk;
+                bulk.advance_ascii_run(&run);
+                for &b in &run {
+                    slow.advance(b as char, 1);
+                }
+                assert_eq!(bulk, slow, "len {len} byte {byte:?}");
+            }
         }
     }
 

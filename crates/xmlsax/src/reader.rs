@@ -37,6 +37,9 @@ pub struct ReaderConfig {
     pub max_depth: usize,
     /// Sliding-window buffer size in bytes. Default: 64 KiB.
     pub buffer_capacity: usize,
+    /// Use the SWAR word-at-a-time scan inside class runs. Default: `true`;
+    /// disable to force the scalar per-byte loop (benchmark ablation).
+    pub wide_scan: bool,
 }
 
 impl Default for ReaderConfig {
@@ -47,6 +50,7 @@ impl Default for ReaderConfig {
             entity_limits: EntityLimits::default(),
             max_depth: 4096,
             buffer_capacity: 64 * 1024,
+            wide_scan: true,
         }
     }
 }
@@ -65,6 +69,25 @@ enum DocState {
     Done,
 }
 
+/// Anything that yields a stream of [`XmlEvent`]s terminated by
+/// [`XmlEvent::EndDocument`].
+///
+/// Abstracts over the sequential [`XmlReader`] and the parallel
+/// [`crate::par::ParallelReader`] so downstream drivers (the `vitex-core`
+/// engines) accept either front-end without caring which produced the
+/// stream. Implementations must keep returning `EndDocument` once it has
+/// been delivered.
+pub trait EventSource {
+    /// Pulls the next event.
+    fn next_event(&mut self) -> XmlResult<XmlEvent>;
+}
+
+impl<R: Read> EventSource for XmlReader<R> {
+    fn next_event(&mut self) -> XmlResult<XmlEvent> {
+        XmlReader::next_event(self)
+    }
+}
+
 /// A streaming, pull-based XML parser.
 pub struct XmlReader<R: Read> {
     scanner: Scanner<R>,
@@ -81,6 +104,11 @@ pub struct XmlReader<R: Read> {
     pending_end: Option<EndElementEvent>,
     seen_doctype: bool,
     scratch: String,
+    /// Fragment mode (parallel front-end): the reader starts mid-document
+    /// inside the root element, tolerates end tags for elements it never
+    /// saw open (the coordinator resolves them during replay), and treats
+    /// end-of-input as a clean fragment end rather than an error.
+    fragment: bool,
 }
 
 impl XmlReader<Cursor<Vec<u8>>> {
@@ -112,8 +140,10 @@ impl<R: Read> XmlReader<R> {
 
     /// Creates a reader with explicit configuration.
     pub fn with_config(source: R, config: ReaderConfig) -> Self {
+        let mut scanner = Scanner::with_capacity(source, config.buffer_capacity);
+        scanner.set_wide_scan(config.wide_scan);
         XmlReader {
-            scanner: Scanner::with_capacity(source, config.buffer_capacity),
+            scanner,
             config,
             state: DocState::Init,
             open: Vec::new(),
@@ -123,7 +153,39 @@ impl<R: Read> XmlReader<R> {
             pending_end: None,
             seen_doctype: false,
             scratch: String::new(),
+            fragment: false,
         }
+    }
+
+    /// Creates a *fragment* reader for the parallel front-end: parsing
+    /// starts mid-document (inside the root element) at absolute stream
+    /// position `start`, with line/column counted relative to the fragment
+    /// (the coordinator rebases them during replay). The reader stays in
+    /// content state for its whole life, emits end tags it cannot match
+    /// locally as events with an empty element span (resolved at replay),
+    /// and reports end-of-input as `EndDocument`.
+    pub(crate) fn fragment(source: R, config: ReaderConfig, start: TextPosition) -> Self {
+        let mut scanner = Scanner::with_capacity_at(source, config.buffer_capacity, start);
+        scanner.set_wide_scan(config.wide_scan);
+        XmlReader {
+            scanner,
+            config,
+            state: DocState::InRoot,
+            open: Vec::new(),
+            open_starts: Vec::new(),
+            open_positions: Vec::new(),
+            entities: EntityTable::new(),
+            pending_end: None,
+            seen_doctype: false,
+            scratch: String::new(),
+            fragment: true,
+        }
+    }
+
+    /// Whether a self-closing tag's deferred `EndElement` is still queued
+    /// (the parallel front-end must drain it before cutting a fragment).
+    pub(crate) fn has_pending_end(&self) -> bool {
+        self.pending_end.is_some()
     }
 
     /// Current element nesting depth (number of open elements).
@@ -151,7 +213,7 @@ impl<R: Read> XmlReader<R> {
     pub fn next_event(&mut self) -> XmlResult<XmlEvent> {
         if let Some(end) = self.pending_end.take() {
             self.pop_open();
-            if self.open.is_empty() && self.state == DocState::InRoot {
+            if self.open.is_empty() && self.state == DocState::InRoot && !self.fragment {
                 self.state = DocState::Epilog;
             }
             return Ok(XmlEvent::EndElement(end));
@@ -295,6 +357,13 @@ impl<R: Read> XmlReader<R> {
     }
 
     fn handle_eof(&mut self, pos: TextPosition) -> XmlResult<XmlEvent> {
+        if self.fragment {
+            // A fragment simply ends at its slice boundary; whether open
+            // elements remain is for the coordinator to judge once the
+            // *document* ends.
+            self.state = DocState::Done;
+            return Ok(XmlEvent::EndDocument);
+        }
         match self.state {
             DocState::InRoot => Err(XmlError::new(
                 XmlErrorKind::UnexpectedEof { expected: "end tags for open elements" },
@@ -432,6 +501,19 @@ impl<R: Read> XmlReader<R> {
         self.expect_ascii(b">")?;
         let expected = match self.open.last() {
             Some(n) => n,
+            None if self.fragment => {
+                // An end tag for an element opened before this fragment
+                // began. Emit it with an empty span at the close offset;
+                // the coordinator's replay substitutes the true start
+                // offset and enforces the name match.
+                let end_offset = self.scanner.offset();
+                return Ok(XmlEvent::EndElement(EndElementEvent {
+                    name: QName::new(name),
+                    level: 0,
+                    element_span: ByteSpan::new(end_offset, end_offset),
+                    position,
+                }));
+            }
             None => return Err(XmlError::new(XmlErrorKind::UnbalancedEndTag { name }, position)),
         };
         if expected.as_str() != name {
@@ -444,7 +526,7 @@ impl<R: Read> XmlReader<R> {
         let start_offset = *self.open_starts.last().expect("stack in sync");
         let end_offset = self.scanner.offset();
         let name = self.pop_open();
-        if self.open.is_empty() {
+        if self.open.is_empty() && !self.fragment {
             self.state = DocState::Epilog;
         }
         Ok(XmlEvent::EndElement(EndElementEvent {
@@ -855,11 +937,18 @@ impl<R: Read> XmlReader<R> {
     // ---------------------------------------------------------------- //
 
     /// Skips XML whitespace; returns whether any was consumed.
+    ///
+    /// Bulk path: a zero-copy class run chews through space/tab/newline
+    /// without materializing the bytes; only `\r` (which needs line-ending
+    /// normalization) falls back to the char-wise path.
     fn skip_whitespace(&mut self) -> XmlResult<bool> {
         let mut any = false;
         loop {
+            if self.scanner.skip_class_run(&WS_RUN)? > 0 {
+                any = true;
+            }
             match self.scanner.peek_byte()? {
-                Some(b' ') | Some(b'\t') | Some(b'\n') | Some(b'\r') => {
+                Some(b'\r') => {
                     self.scanner.next_char()?;
                     any = true;
                 }
@@ -934,8 +1023,13 @@ impl<R: Read> XmlReader<R> {
             }
             _ => return Err(XmlError::syntax("expected quoted attribute value", pos)),
         };
+        let run = if quote == '"' { &ATTR_RUN_DQ } else { &ATTR_RUN_SQ };
         let mut out = String::new();
         loop {
+            // Bulk-copy the printable run up to the next quote, reference,
+            // `<`, whitespace-to-normalize, or non-ASCII byte; the
+            // char-wise arms below handle the stopping byte.
+            self.scanner.consume_class_run(run, &mut out)?;
             match self.scanner.peek_byte()? {
                 None => {
                     return Err(XmlError::new(
@@ -1017,6 +1111,34 @@ static TEXT_RUN: ByteClass = ByteClass::new({
             && (byte >= 0x20 || byte == b'\t' || byte == b'\n');
         b += 1;
     }
+    t
+});
+
+/// Membership tables for attribute-value bytes that can be copied
+/// verbatim (one per quote kind): printable ASCII minus the closing
+/// quote and the `<`/`&` specials. Tab/newline stay char-wise (they
+/// normalize to spaces), as do `\r`, controls and non-ASCII.
+static ATTR_RUN_DQ: ByteClass = ByteClass::new(attr_value_table(b'"'));
+/// See [`ATTR_RUN_DQ`]; single-quoted values.
+static ATTR_RUN_SQ: ByteClass = ByteClass::new(attr_value_table(b'\''));
+
+const fn attr_value_table(quote: u8) -> [bool; 256] {
+    let mut t = [false; 256];
+    let mut b = 0x20usize;
+    while b < 0x80 {
+        t[b] = b as u8 != quote && b as u8 != b'<' && b as u8 != b'&';
+        b += 1;
+    }
+    t
+}
+
+/// Membership table for XML whitespace, minus `\r` (normalization stays
+/// char-wise). Drives the zero-copy skip in [`XmlReader::skip_whitespace`].
+static WS_RUN: ByteClass = ByteClass::new({
+    let mut t = [false; 256];
+    t[b' ' as usize] = true;
+    t[b'\t' as usize] = true;
+    t[b'\n' as usize] = true;
     t
 });
 

@@ -1,0 +1,159 @@
+//! Seam-boundary battery for the speculative chunked front-end.
+//!
+//! Every construct a chunk boundary can land inside — tags, attributes,
+//! CDATA sections, comments, processing instructions, entity references —
+//! is swept with a boundary at *every* byte offset, asserting the chunked
+//! event stream (events, positions, levels, spans) and any terminal error
+//! are identical to the sequential reader's. The inline tests in
+//! `src/par.rs` cover the mechanism; this battery covers the seams.
+
+use vitex_xmlsax::{ParallelConfig, ParallelReader, XmlEvent, XmlReader};
+
+/// Runs `xml` chunked at every chunk size from 1 byte to the whole
+/// document, at 2 and 4 threads, comparing against the sequential stream.
+/// Errors are compared by display string (which embeds position + kind).
+fn sweep_all_seams(xml: &str) {
+    let expected = XmlReader::from_str(xml).collect_events();
+    for threads in [2usize, 4] {
+        for chunk in 1..=xml.len().max(1) {
+            let cfg =
+                ParallelConfig { threads, chunk_bytes: Some(chunk), ..ParallelConfig::default() };
+            let par = ParallelReader::with_config(xml.as_bytes().to_vec(), cfg);
+            let got = par.collect_events();
+            match (&expected, &got) {
+                (Ok(a), Ok(b)) => assert_eq!(
+                    a, b,
+                    "event stream diverged: threads={threads} chunk={chunk} xml={xml:?}"
+                ),
+                (Err(a), Err(b)) => assert_eq!(
+                    a.to_string(),
+                    b.to_string(),
+                    "error diverged: threads={threads} chunk={chunk} xml={xml:?}"
+                ),
+                (a, b) => panic!(
+                    "outcome diverged: threads={threads} chunk={chunk} xml={xml:?}\n\
+                     sequential: {a:?}\nchunked: {b:?}"
+                ),
+            }
+        }
+    }
+}
+
+#[test]
+fn seam_inside_start_tag() {
+    sweep_all_seams("<root><item attr=\"value\">text</item></root>");
+}
+
+#[test]
+fn seam_inside_end_tag_and_self_closing() {
+    sweep_all_seams("<root><empty/><a>x</a><empty2 /></root>");
+}
+
+#[test]
+fn seam_inside_attribute_value() {
+    sweep_all_seams(r#"<r a="one two three" b='single > quoted' c="with &amp; ref"/>"#);
+}
+
+#[test]
+fn seam_inside_cdata() {
+    sweep_all_seams("<r>before<![CDATA[ raw < & > markup-ish </r> ]]>after</r>");
+}
+
+#[test]
+fn seam_inside_comment() {
+    sweep_all_seams("<r><!-- a comment with <fake-tags/> and -- almost --><x/></r>");
+}
+
+#[test]
+fn seam_inside_processing_instruction() {
+    sweep_all_seams("<r><?target data with <angle> brackets?><x/></r>");
+}
+
+#[test]
+fn seam_inside_entity_references() {
+    sweep_all_seams("<r>&lt;a&gt; &amp; &quot;b&quot; &#65;&#x42;</r>");
+}
+
+#[test]
+fn seam_inside_prolog_and_trailing_misc() {
+    sweep_all_seams("<?xml version=\"1.0\"?><!--lead--><r><a/></r><!--tail-->");
+}
+
+#[test]
+fn seam_with_multibyte_utf8_text() {
+    sweep_all_seams("<r>héllo wörld — 日本語テキスト</r>");
+}
+
+#[test]
+fn seam_with_newlines_positions_stay_absolute() {
+    let xml = "<r>\n  <a>\n    line three\n  </a>\n  <b attr=\"v\"/>\n</r>\n";
+    sweep_all_seams(xml);
+    // Spot-check one rebased position: the <b> start tag sits on line 5.
+    let cfg = ParallelConfig { threads: 2, chunk_bytes: Some(7), ..ParallelConfig::default() };
+    let events =
+        ParallelReader::with_config(xml.as_bytes().to_vec(), cfg).collect_events().unwrap();
+    let b = events
+        .iter()
+        .find_map(|e| match e {
+            XmlEvent::StartElement(s) if s.name.as_str() == "b" => Some(s.position),
+            _ => None,
+        })
+        .expect("<b> parsed");
+    assert_eq!((b.line, b.column), (5, 3));
+}
+
+#[test]
+fn seam_errors_cross_chunk_mismatch_and_eof() {
+    // Mismatch detected only at replay time (open/close in different chunks).
+    sweep_all_seams("<root><a><b>text</b></wrong></root>");
+    // Truncated input: EOF error position must match the sequential one.
+    sweep_all_seams("<root><a>unterminated");
+    sweep_all_seams("<root><a attr=\"unclosed");
+}
+
+#[test]
+fn seam_second_root_and_text_outside_root() {
+    sweep_all_seams("<a/><b/>");
+    sweep_all_seams("<a/>stray text");
+    sweep_all_seams("  <a>ok</a>  ");
+}
+
+#[test]
+fn deep_nesting_across_many_chunks() {
+    let depth = 40;
+    let mut xml = String::new();
+    for i in 0..depth {
+        xml.push_str(&format!("<n{i}>"));
+    }
+    xml.push_str("leaf");
+    for i in (0..depth).rev() {
+        xml.push_str(&format!("</n{i}>"));
+    }
+    sweep_all_seams(&xml);
+}
+
+#[test]
+fn doctype_takes_sequential_fallback_and_still_matches() {
+    let xml = "<!DOCTYPE r [<!ENTITY who \"world\">]><r>hello &who;</r>";
+    let expected = XmlReader::from_str(xml).collect_events().unwrap();
+    let cfg = ParallelConfig { threads: 4, chunk_bytes: Some(3), ..ParallelConfig::default() };
+    let par = ParallelReader::with_config(xml.as_bytes().to_vec(), cfg);
+    assert!(par.stats().sequential_fallback, "DOCTYPE must force the sequential path");
+    assert_eq!(par.collect_events().unwrap(), expected);
+}
+
+#[test]
+fn mixed_everything_document() {
+    sweep_all_seams(
+        "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n\
+         <catalog>\n\
+           <!-- inventory -->\n\
+           <item id=\"a1\" price=\"3.50\">\n\
+             <name>Widget &amp; Co</name>\n\
+             <desc><![CDATA[raw <stuff> here]]></desc>\n\
+             <?audit checked?>\n\
+           </item>\n\
+           <item id=\"a2\"><name>Gadget</name></item>\n\
+         </catalog>",
+    );
+}

@@ -33,7 +33,7 @@ use std::process::ExitCode;
 use vitex_core::{
     DispatchMode, Engine, EvalMode, Match, MatchKind, MultiOutput, PlanMode, ShardedEngine,
 };
-use vitex_xmlsax::XmlReader;
+use vitex_xmlsax::{EventSource, ParallelReader, XmlEvent, XmlReader, XmlResult};
 use vitex_xpath::QueryTree;
 
 struct Options {
@@ -47,6 +47,7 @@ struct Options {
     no_plan_sharing: bool,
     prefix_sharing: bool,
     shards: usize,
+    parse_threads: usize,
     machine: bool,
 }
 
@@ -54,7 +55,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: vitex [--count] [--values] [--stats] [--eager] [--scan-dispatch]\n\
          \x20            [--no-plan-sharing] [--prefix-sharing] [--shards N]\n\
-         \x20            [--machine] <QUERY> [FILE]\n\
+         \x20            [--parse-threads N] [--machine] <QUERY> [FILE]\n\
          \x20      vitex [OPTIONS] -e <QUERY> [-e <QUERY> ...] [FILE]\n\
          \n\
          Streams FILE (or stdin) through the TwigM machine(s) and prints every\n\
@@ -64,6 +65,8 @@ fn usage() -> ! {
          identical queries share one machine (disable with --no-plan-sharing)\n\
          and every line is prefixed with the query index. --shards N runs the\n\
          machines on N worker threads with identical, deterministic output.\n\
+         --parse-threads N parses the document itself on N threads (speculative\n\
+         chunked front-end; 0 or 1 = sequential, output always identical).\n\
          \n\
          examples:\n\
          \x20 vitex '//ProteinEntry[reference]/@id' protein.xml\n\
@@ -87,6 +90,7 @@ fn parse_args() -> Options {
         no_plan_sharing: false,
         prefix_sharing: false,
         shards: 1,
+        parse_threads: 1,
         machine: false,
     };
     let mut args = std::env::args().skip(1);
@@ -106,6 +110,10 @@ fn parse_args() -> Options {
             "--shards" => match args.next().and_then(|n| n.parse::<usize>().ok()) {
                 Some(n) if n >= 1 => opts.shards = n,
                 _ => usage(),
+            },
+            "--parse-threads" => match args.next().and_then(|n| n.parse::<usize>().ok()) {
+                Some(n) => opts.parse_threads = n,
+                None => usage(),
             },
             "--machine" => opts.machine = true,
             "--help" | "-h" => usage(),
@@ -198,6 +206,39 @@ fn open_source(file: &Option<String>) -> Result<Box<dyn Read>, ExitCode> {
     }
 }
 
+/// The parse front-end: sequential streaming reader, or the speculative
+/// chunked parallel reader (`--parse-threads N`, N > 1). Both deliver the
+/// identical event stream, so the engines don't care which they get.
+enum AnyReader {
+    Seq(Box<XmlReader<Box<dyn Read>>>),
+    Par(Box<ParallelReader>),
+}
+
+impl EventSource for AnyReader {
+    fn next_event(&mut self) -> XmlResult<XmlEvent> {
+        match self {
+            AnyReader::Seq(r) => r.next_event(),
+            AnyReader::Par(r) => r.next_event(),
+        }
+    }
+}
+
+/// Builds the event source per `--parse-threads`. The parallel front-end
+/// needs the whole document in memory (it splits it into chunks), so N > 1
+/// slurps FILE / stdin first; 0 and 1 keep the streaming reader.
+fn open_reader(opts: &Options) -> Result<AnyReader, ExitCode> {
+    let mut source = open_source(&opts.file)?;
+    if opts.parse_threads <= 1 {
+        return Ok(AnyReader::Seq(Box::new(XmlReader::new(source))));
+    }
+    let mut bytes = Vec::new();
+    if let Err(e) = source.read_to_end(&mut bytes) {
+        eprintln!("vitex: {}: {e}", opts.file.as_deref().unwrap_or("<stdin>"));
+        return Err(ExitCode::from(2));
+    }
+    Ok(AnyReader::Par(Box::new(ParallelReader::from_bytes(bytes, opts.parse_threads))))
+}
+
 /// Single-query mode: the classic engine, optionally in eager mode.
 fn run_single(opts: &Options, tree: &QueryTree) -> ExitCode {
     let mode = if opts.eager { EvalMode::Eager } else { EvalMode::Compact };
@@ -208,14 +249,14 @@ fn run_single(opts: &Options, tree: &QueryTree) -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let source = match open_source(&opts.file) {
-        Ok(s) => s,
+    let reader = match open_reader(opts) {
+        Ok(r) => r,
         Err(code) => return code,
     };
     let stdout = io::stdout();
     let mut out = stdout.lock();
     let mut count = 0u64;
-    let result = engine.run(XmlReader::new(source), |m| {
+    let result = engine.run(reader, |m| {
         count += 1;
         if !opts.count {
             let _ = writeln!(out, "{}", describe(&m, opts.values));
@@ -264,8 +305,8 @@ fn run_multi(opts: &Options, trees: &[QueryTree]) -> ExitCode {
             return ExitCode::from(2);
         }
     }
-    let source = match open_source(&opts.file) {
-        Ok(s) => s,
+    let reader = match open_reader(opts) {
+        Ok(r) => r,
         Err(code) => return code,
     };
     let stdout = io::stdout();
@@ -275,7 +316,7 @@ fn run_multi(opts: &Options, trees: &[QueryTree]) -> ExitCode {
     // a pure execution knob, never a format change.
     let prefixed = trees.len() > 1;
     let mut counts = vec![0u64; trees.len()];
-    let result: Result<MultiOutput, _> = multi.run(XmlReader::new(source), |qid, m| {
+    let result: Result<MultiOutput, _> = multi.run(reader, |qid, m| {
         counts[qid.0] += 1;
         if !opts.count {
             let line = describe(&m, opts.values);
@@ -331,6 +372,12 @@ fn main() -> ExitCode {
     let opts = parse_args();
     if opts.no_plan_sharing && opts.prefix_sharing {
         eprintln!("vitex: --no-plan-sharing and --prefix-sharing are mutually exclusive");
+        return ExitCode::from(2);
+    }
+    // The eager ablation mode is a single-threaded diagnostic; like
+    // `--shards`, the parallel front-end doesn't combine with it.
+    if opts.eager && opts.parse_threads > 1 {
+        eprintln!("vitex: --eager applies to sequential (--parse-threads 1) runs only");
         return ExitCode::from(2);
     }
     let trees = match parse_trees(&opts.queries) {
