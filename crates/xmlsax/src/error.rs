@@ -6,6 +6,7 @@
 
 use std::fmt;
 use std::io;
+use std::sync::Arc;
 
 use crate::pos::TextPosition;
 
@@ -13,11 +14,13 @@ use crate::pos::TextPosition;
 pub type XmlResult<T> = Result<T, XmlError>;
 
 /// The category of a parse failure.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 #[non_exhaustive]
 pub enum XmlErrorKind {
-    /// An I/O error surfaced by the underlying reader.
-    Io(io::Error),
+    /// An I/O error surfaced by the underlying reader. Shared behind an
+    /// `Arc` because `io::Error` is not `Clone` and the parallel front-end
+    /// needs clonable (sticky) errors without losing the source chain.
+    Io(Arc<io::Error>),
     /// The input ended in the middle of a construct.
     UnexpectedEof {
         /// What the parser was in the middle of reading.
@@ -95,37 +98,6 @@ pub enum XmlErrorKind {
         /// The configured maximum.
         max: usize,
     },
-}
-
-/// Clone by hand: `io::Error` is not `Clone`, so the `Io` variant is
-/// reconstructed from its kind and message (the parallel front-end needs
-/// clonable errors to make a terminal error sticky).
-impl Clone for XmlErrorKind {
-    fn clone(&self) -> Self {
-        use XmlErrorKind::*;
-        match self {
-            Io(e) => Io(io::Error::new(e.kind(), e.to_string())),
-            UnexpectedEof { expected } => UnexpectedEof { expected },
-            InvalidUtf8 => InvalidUtf8,
-            InvalidChar { ch } => InvalidChar { ch: *ch },
-            InvalidName { name } => InvalidName { name: name.clone() },
-            Syntax { msg } => Syntax { msg: msg.clone() },
-            MismatchedTag { expected, found } => {
-                MismatchedTag { expected: expected.clone(), found: found.clone() }
-            }
-            UnbalancedEndTag { name } => UnbalancedEndTag { name: name.clone() },
-            TrailingContent => TrailingContent,
-            NoRootElement => NoRootElement,
-            TextOutsideRoot => TextOutsideRoot,
-            DuplicateAttribute { name } => DuplicateAttribute { name: name.clone() },
-            UnknownEntity { name } => UnknownEntity { name: name.clone() },
-            EntityExpansionLimit { what } => EntityExpansionLimit { what },
-            ExternalEntity { name } => ExternalEntity { name: name.clone() },
-            MarkupInEntity { name } => MarkupInEntity { name: name.clone() },
-            UnsupportedEncoding { encoding } => UnsupportedEncoding { encoding: encoding.clone() },
-            DepthLimit { max } => DepthLimit { max: *max },
-        }
-    }
 }
 
 /// A parse error: a kind plus the position where it was detected.
@@ -225,7 +197,7 @@ impl fmt::Display for XmlError {
 impl std::error::Error for XmlError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match &self.kind {
-            XmlErrorKind::Io(e) => Some(e),
+            XmlErrorKind::Io(e) => Some(&**e),
             _ => None,
         }
     }
@@ -233,7 +205,7 @@ impl std::error::Error for XmlError {
 
 impl From<io::Error> for XmlError {
     fn from(e: io::Error) -> Self {
-        XmlError::new(XmlErrorKind::Io(e), TextPosition::START)
+        XmlError::new(XmlErrorKind::Io(Arc::new(e)), TextPosition::START)
     }
 }
 

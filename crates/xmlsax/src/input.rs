@@ -102,7 +102,7 @@ impl<R: Read> Scanner<R> {
             let read = self
                 .source
                 .read(&mut self.buf[self.end..])
-                .map_err(|e| XmlError::new(XmlErrorKind::Io(e), self.pos))?;
+                .map_err(|e| XmlError::new(XmlErrorKind::Io(e.into()), self.pos))?;
             if read == 0 {
                 self.source_eof = true;
             } else {

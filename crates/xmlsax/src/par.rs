@@ -178,8 +178,10 @@ impl ParallelReader {
         }
     }
 
-    /// Counters for this parse (all zeros except `sequential_fallback`
-    /// when the fallback was taken).
+    /// Counters for this parse. When the sequential fallback was taken,
+    /// `sequential_fallback` is set and the remaining counters are zero;
+    /// otherwise `chunks` (and, as the replay progresses,
+    /// `misspeculated`/`reparsed`) reflect the chunked parse.
     pub fn stats(&self) -> ParStats {
         match &self.inner {
             Inner::Seq { stats, .. } => *stats,
@@ -573,28 +575,42 @@ impl Replay {
                     e.position = self.rebase(e.position);
                 }
                 if self.open.is_empty() {
-                    if e.is_whitespace {
-                        // Whitespace between top-level constructs is
-                        // consumed silently, as the sequential reader does
-                        // in prolog/epilog state.
-                        return Ok(None);
-                    }
-                    // Error at the first non-whitespace character, like
-                    // the sequential reader. When the raw span maps 1:1
-                    // onto decoded chars (no entities, no multi-byte) the
-                    // exact position is recoverable; otherwise report the
-                    // run start.
+                    // The sequential reader consumes whitespace between
+                    // top-level constructs silently, but it decides on the
+                    // *raw source*: a character reference or CDATA section
+                    // that merely decodes to whitespace is still an error.
+                    // Fragment readers parse the epilog in content state
+                    // and hand us the decoded run, so walk the raw span to
+                    // recover the sequential verdict and the exact error
+                    // position, independent of entity/multibyte decoding.
+                    let raw = e.span.slice(&self.bytes).expect("event span within document");
                     let mut pos = e.position;
-                    if e.span.len() == e.text.len() as u64 {
-                        for c in e.text.chars() {
-                            if matches!(c, ' ' | '\t' | '\n') {
-                                pos.advance(c, 1);
-                            } else {
-                                break;
+                    let mut i = 0;
+                    while i < raw.len() {
+                        match raw[i] {
+                            b' ' | b'\t' | b'\n' => {
+                                pos.advance(raw[i] as char, 1);
+                                i += 1;
                             }
+                            b'\r' => {
+                                // §2.11 normalization: \r\n is one '\n'.
+                                let len = if raw.get(i + 1) == Some(&b'\n') { 2 } else { 1 };
+                                pos.advance('\n', len);
+                                i += len;
+                            }
+                            // Only a CDATA opener can put '<' inside a
+                            // text span; the sequential reader rejects it
+                            // before looking at its contents.
+                            b'<' => {
+                                return Err(XmlError::syntax(
+                                    "CDATA section outside the root element",
+                                    pos,
+                                ))
+                            }
+                            _ => return Err(XmlError::new(XmlErrorKind::TextOutsideRoot, pos)),
                         }
                     }
-                    return Err(XmlError::new(XmlErrorKind::TextOutsideRoot, pos));
+                    return Ok(None);
                 }
                 e.level = self.open.len() as u32;
                 XmlEvent::Characters(e)
@@ -703,6 +719,45 @@ mod tests {
         let xml = "<a><b>text</a></b>";
         for chunk in [1, 4, 9, 64] {
             assert_equivalent(xml, chunk);
+        }
+    }
+
+    #[test]
+    fn decoded_whitespace_outside_root_errors_like_sequential() {
+        // Char-ref and CDATA whitespace outside the root decode to
+        // whitespace text, but the sequential reader rejects them on the
+        // raw source before decoding; the replay must produce the same
+        // error at the same position.
+        for xml in [
+            "<r>a</r> &#32;",
+            "<r>a</r>&#x20;",
+            "<r>a</r> <![CDATA[ ]]>",
+            "<r>a</r>\n<![CDATA[]]> ",
+        ] {
+            for chunk in 1..=xml.len() {
+                assert_equivalent(xml, chunk);
+            }
+        }
+    }
+
+    #[test]
+    fn text_outside_root_error_position_is_exact() {
+        // Multibyte and entity-bearing runs after the root: the error
+        // must point at the first non-whitespace character of the raw
+        // source, independent of entity/multibyte decoding.
+        for xml in ["<r>a</r>  \u{e9}x", "<r>a</r> \r\n x&amp;y", "<r>a</r>\t&#233;"] {
+            for chunk in 1..=xml.len() {
+                assert_equivalent(xml, chunk);
+            }
+        }
+    }
+
+    #[test]
+    fn literal_whitespace_epilog_is_consumed() {
+        for xml in ["<r>a</r> \n\t ", "<r/>\r\n \r"] {
+            for chunk in 1..=xml.len() {
+                assert_equivalent(xml, chunk);
+            }
         }
     }
 
