@@ -1,0 +1,122 @@
+//! E13 — telemetry stage-time breakdown of the sharded pipeline.
+//!
+//! The unified telemetry layer records where a sharded run's wall-clock
+//! goes: coordinator time splits into parsing (pulling events from the
+//! reader) and dispatch (feeding the shard rings), dispatch itself can
+//! degrade into ring-wait when workers fall behind (bounded-ring
+//! backpressure), and the merge holds finished matches until every
+//! shard's watermark passes. This experiment runs the E10 workload —
+//! k = 1000 distinct standing auction subscriptions — with telemetry
+//! enabled and prints that breakdown per shard count, straight from the
+//! metrics snapshot.
+//!
+//! Reading the table: at 1 shard the engine delegates to the inline
+//! single-threaded path, so the ring/worker/merge rows are zero and
+//! parse + dispatch ≈ total. At higher shard counts ring-wait is the
+//! backpressure signal (`vitex_ring_stall_ns_total`): on a single-core
+//! host it dominates, because the coordinator and workers time-slice one
+//! CPU; on a multi-core host it should shrink toward zero as workers
+//! keep up.
+
+use std::time::Duration;
+
+use vitex_bench::multiquery::distinct_overlapping_queries;
+use vitex_bench::{fmt_dur, header, scale_arg, throughput};
+use vitex_core::telemetry::{Snapshot, Telemetry};
+use vitex_core::{DispatchMode, PlanMode, ShardedEngine};
+use vitex_xmlgen::auction::{self, AuctionConfig};
+use vitex_xmlsax::XmlReader;
+
+fn run_once(queries: &[String], shards: usize, xml: &str) -> (Snapshot, u64) {
+    let telemetry = Telemetry::enabled();
+    let mut engine = ShardedEngine::with_options(shards, DispatchMode::Indexed, PlanMode::Shared);
+    engine.set_telemetry(telemetry.clone());
+    for q in queries {
+        engine.add_query(q).expect("valid query");
+    }
+    let out = engine.run(XmlReader::from_str(xml), |_, _| {}).expect("engine run");
+    let matches = out.matches.iter().map(|m| m.len() as u64).sum();
+    (telemetry.snapshot().expect("telemetry enabled"), matches)
+}
+
+fn hist_sum(snapshot: &Snapshot, name: &str) -> u64 {
+    snapshot.histograms.iter().find(|h| h.name == name).map_or(0, |h| h.sum)
+}
+
+fn hist_mean(snapshot: &Snapshot, name: &str) -> Duration {
+    let h = snapshot.histograms.iter().find(|h| h.name == name);
+    Duration::from_nanos(h.map_or(0, |h| h.sum.checked_div(h.count).unwrap_or(0)))
+}
+
+fn ns(n: u64) -> Duration {
+    Duration::from_nanos(n)
+}
+
+fn main() {
+    header(
+        "E13: telemetry stage-time breakdown (parse / dispatch / ring-wait / merge)",
+        "the metrics registry attributes a sharded run's wall-clock to \
+         pipeline stages; ring-wait is the backpressure signal that tells \
+         producer-bound from consumer-bound configurations apart",
+    );
+    let scale = scale_arg();
+    let xml = auction::to_string(&AuctionConfig::sized(((1 << 20) as f64 * scale) as u64));
+    let k = 1000usize;
+    let queries = distinct_overlapping_queries(k);
+
+    println!(
+        "{:>6} | {:>9} | {:>9} | {:>9} | {:>9} | {:>10} | {:>8} | {:>9}",
+        "shards", "total", "parse", "dispatch", "ringwait", "merge-hold", "MB/s", "matches"
+    );
+    let mut reference: Option<u64> = None;
+    for shards in [1usize, 4] {
+        let (snapshot, matches) = run_once(&queries, shards, &xml);
+        match reference {
+            None => reference = Some(matches),
+            Some(r) => assert_eq!(matches, r, "shard counts must agree on matches"),
+        }
+        let total = snapshot.counter("vitex_doc_ns_total").unwrap_or(0);
+        let dispatch = hist_sum(&snapshot, "vitex_dispatch_ns");
+        let ring_wait = snapshot.counter("vitex_ring_stall_ns_total").unwrap_or(0);
+        // The coordinator loop is read-event-then-dispatch, so whatever
+        // the document span did not spend in sinks it spent in the
+        // parser; ring-wait is the blocking slice *inside* dispatch.
+        let parse = total.saturating_sub(dispatch);
+        println!(
+            "{:>6} | {:>9} | {:>9} | {:>9} | {:>9} | {:>10} | {:>8.1} | {:>9}",
+            shards,
+            fmt_dur(ns(total)),
+            fmt_dur(ns(parse)),
+            fmt_dur(ns(dispatch.saturating_sub(ring_wait))),
+            fmt_dur(ns(ring_wait)),
+            fmt_dur(hist_mean(&snapshot, "vitex_merge_release_ns")),
+            throughput(xml.len(), ns(total)),
+            matches,
+        );
+        if shards > 1 {
+            let busy = snapshot.counter("vitex_worker_busy_ns_total").unwrap_or(0);
+            let idle = snapshot.counter("vitex_worker_idle_ns_total").unwrap_or(0);
+            let stalls = snapshot.counter("vitex_ring_enqueue_stalls_total").unwrap_or(0);
+            let occupancy = snapshot
+                .gauges
+                .iter()
+                .find(|g| g.name == "vitex_ring_occupancy")
+                .map_or(0, |g| g.high);
+            println!(
+                "       |   workers: busy={} idle={} across {shards} shards; \
+                 ring: stalls={stalls} occupancy-high={occupancy}",
+                fmt_dur(ns(busy)),
+                fmt_dur(ns(idle)),
+            );
+        }
+    }
+    println!(
+        "\nshape check: the 1-shard row has zero ring-wait and merge-hold\n\
+         (inline delegation); the sharded row attributes its wall-clock to\n\
+         parse + dispatch + ring-wait, with ring-wait > 0 meaning workers\n\
+         are the bottleneck (raise shards on a multi-core host) and\n\
+         ring-wait ~ 0 meaning the parser is (see E12). Match totals are\n\
+         asserted identical across rows — observability never perturbs\n\
+         the deterministic merge."
+    );
+}

@@ -26,6 +26,7 @@ use crate::error::EngineResult;
 use crate::intern::Symbol;
 use crate::result::NodeId;
 use crate::stats::StreamStats;
+use crate::telemetry::{Telemetry, TID_COORDINATOR};
 
 /// A consumer of numbered, symbol-resolved document events.
 ///
@@ -73,12 +74,27 @@ pub struct DocumentDriver {
     /// Symbol of each open element, innermost last — lets `end_element`
     /// reuse the start tag's resolution instead of re-hashing the name.
     open_syms: Vec<Option<Symbol>>,
+    /// Telemetry sink; disabled by default (every recording call no-ops).
+    telemetry: Telemetry,
 }
 
 impl DocumentDriver {
     /// A fresh driver.
     pub fn new() -> Self {
         DocumentDriver::default()
+    }
+
+    /// Attaches a telemetry handle. The driver folds stream counters and
+    /// records the per-event dispatch histogram, whole-document wall time,
+    /// and a `document` span per run.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
+    }
+
+    /// The driver's telemetry handle (cheap clone; disabled handles clone
+    /// to disabled handles).
+    pub fn telemetry(&self) -> Telemetry {
+        self.telemetry.clone()
     }
 
     /// Runs `reader` to end of document, dispatching every event into
@@ -96,6 +112,7 @@ impl DocumentDriver {
         self.open_syms.clear();
         let mut next_id: NodeId = 0;
         let mut stats = StreamStats::default();
+        let t_doc = self.telemetry.timer();
         loop {
             let event = reader.next_event()?;
             stats.events += 1;
@@ -106,17 +123,23 @@ impl DocumentDriver {
                     next_id += 1 + e.attributes.len() as u64;
                     let sym = sink.resolve(e.name.as_str());
                     self.open_syms.push(sym);
+                    let t_ev = self.telemetry.timer();
                     sink.start_element(sym, &e, node_id, node_id + 1);
+                    self.telemetry.observe_elapsed(|r| &r.dispatch_ns, t_ev);
                 }
                 XmlEvent::Characters(c) => {
                     stats.text_nodes += 1;
                     let node_id = next_id;
                     next_id += 1;
+                    let t_ev = self.telemetry.timer();
                     sink.characters(&c, node_id);
+                    self.telemetry.observe_elapsed(|r| &r.dispatch_ns, t_ev);
                 }
                 XmlEvent::EndElement(e) => {
                     let sym = self.open_syms.pop().flatten();
+                    let t_ev = self.telemetry.timer();
                     sink.end_element(sym, &e);
+                    self.telemetry.observe_elapsed(|r| &r.dispatch_ns, t_ev);
                 }
                 XmlEvent::EndDocument => {
                     sink.document_end();
@@ -128,6 +151,9 @@ impl DocumentDriver {
                 | XmlEvent::DoctypeDeclaration { .. } => {}
             }
         }
+        self.telemetry.add_elapsed(|r| &r.doc_ns, t_doc);
+        self.telemetry.record_span("document", "stream", TID_COORDINATOR, t_doc);
+        self.telemetry.fold_stream(&stats);
         Ok(stats)
     }
 }

@@ -70,6 +70,13 @@ impl Engine {
         &self.machine
     }
 
+    /// Attaches a telemetry handle: the driver records stream counters and
+    /// dispatch timing, and each run folds the machine's counters and the
+    /// match count into the registry.
+    pub fn set_telemetry(&mut self, telemetry: crate::telemetry::Telemetry) {
+        self.driver.set_telemetry(telemetry);
+    }
+
     /// Streams `reader` through the machine, invoking `on_match` for every
     /// solution the moment it becomes decidable. Resets the machine first,
     /// so an engine can be reused across documents. Accepts any
@@ -91,6 +98,9 @@ impl Engine {
             self.driver.run(reader, &mut sink)?
         };
         debug_assert!(self.machine.is_quiescent(), "well-formed input drains all stacks");
+        let telemetry = self.driver.telemetry();
+        telemetry.fold_machine(self.machine.stats());
+        telemetry.add_matches(matches.len() as u64);
         Ok(EvalOutput {
             matches,
             stats: self.machine.stats().clone(),

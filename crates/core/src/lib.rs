@@ -79,6 +79,7 @@ pub mod predicate;
 pub mod result;
 pub mod shard;
 pub mod stats;
+pub mod telemetry;
 
 pub use builder::{BuildError, EvalMode, MachineSpec};
 pub use driver::{DocumentDriver, EventSink};
@@ -91,3 +92,4 @@ pub use plan::{PlanGroup, PlanMode, QueryPlanner};
 pub use result::{Match, MatchKind, QueryId};
 pub use shard::{ShardSession, ShardedEngine};
 pub use stats::{MachineStats, PlanStats, StreamStats};
+pub use telemetry::{Snapshot, Telemetry};

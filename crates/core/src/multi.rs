@@ -365,6 +365,13 @@ impl MultiEngine {
         self.planner.stats(&self.interner)
     }
 
+    /// Attaches a telemetry handle: the driver records stream counters and
+    /// dispatch timing, and each run folds per-subscription machine
+    /// counters, plan statistics, and the match count into the registry.
+    pub fn set_telemetry(&mut self, telemetry: crate::telemetry::Telemetry) {
+        self.driver.set_telemetry(telemetry);
+    }
+
     /// Splits the engine into the disjoint borrows the sharded execution
     /// layer ([`crate::shard`]) needs: plan groups go to worker threads,
     /// the driver and interner stay on the document thread, and the
@@ -428,7 +435,7 @@ impl MultiEngine {
             };
             self.driver.run(reader, &mut sink)?
         };
-        let stats = self
+        let stats: Vec<MachineStats> = self
             .records
             .iter()
             .map(|r| match r.group {
@@ -436,6 +443,18 @@ impl MultiEngine {
                 None => MachineStats::default(),
             })
             .collect();
+        let telemetry = self.driver.telemetry();
+        if telemetry.is_enabled() {
+            // Folded per subscription (not per group) so the deterministic
+            // machine counters are invariant across plan modes: a shared
+            // machine contributes once per subscriber, exactly what
+            // unshared mode would have recorded.
+            for s in &stats {
+                telemetry.fold_machine(s);
+            }
+            telemetry.fold_plan(&self.planner.stats(&self.interner));
+            telemetry.add_matches(matches.iter().map(|m| m.len() as u64).sum());
+        }
         Ok(MultiOutput {
             matches,
             stats,

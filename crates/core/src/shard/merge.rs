@@ -18,8 +18,10 @@
 //! reordering against the single-threaded reference.
 
 use std::collections::VecDeque;
+use std::time::Instant;
 
 use crate::result::Match;
+use crate::telemetry::Telemetry;
 
 /// One match tagged with its global ordering key.
 #[derive(Debug, Clone)]
@@ -40,8 +42,10 @@ pub(crate) struct TaggedMatch {
 struct ShardStream {
     /// Matches received but not yet released, already sorted by
     /// `(seq, gid)` — a worker processes events in sequence order and
-    /// groups in ascending gid order.
-    queue: VecDeque<TaggedMatch>,
+    /// groups in ascending gid order. Each match carries its arrival
+    /// instant (`None` with telemetry disabled) so release latency — time
+    /// held waiting on other shards' watermarks — can be observed.
+    queue: VecDeque<(TaggedMatch, Option<Instant>)>,
     /// Every event with `seq <= watermark` is fully processed by this
     /// shard; it can produce nothing earlier.
     watermark: u64,
@@ -52,26 +56,39 @@ struct ShardStream {
 #[derive(Debug)]
 pub(crate) struct MatchMerger {
     shards: Vec<ShardStream>,
+    telemetry: Telemetry,
 }
 
 impl MatchMerger {
     /// A merger for `nshards` streams, all watermarks at zero (sequence
     /// numbers are 1-based, so nothing is releasable yet).
+    #[cfg(test)]
     pub(crate) fn new(nshards: usize) -> Self {
-        MatchMerger { shards: (0..nshards).map(|_| ShardStream::default()).collect() }
+        MatchMerger::with_telemetry(nshards, Telemetry::disabled())
+    }
+
+    /// A merger that records hold depth, release latency and release
+    /// counts into `telemetry`.
+    pub(crate) fn with_telemetry(nshards: usize, telemetry: Telemetry) -> Self {
+        MatchMerger { shards: (0..nshards).map(|_| ShardStream::default()).collect(), telemetry }
     }
 
     /// Ingests one worker report: `matches` in the shard's emission order
     /// plus the shard's new watermark. Watermarks only move forward.
     pub(crate) fn push(&mut self, shard: usize, matches: Vec<TaggedMatch>, through_seq: u64) {
+        let arrived = self.telemetry.timer();
         let s = &mut self.shards[shard];
         debug_assert!(
             matches.windows(2).all(|w| (w[0].seq, w[0].gid) <= (w[1].seq, w[1].gid)),
             "a shard stream arrives sorted by (seq, gid)"
         );
-        s.queue.extend(matches);
+        s.queue.extend(matches.into_iter().map(|m| (m, arrived)));
         debug_assert!(through_seq >= s.watermark, "watermarks are monotonic");
         s.watermark = s.watermark.max(through_seq);
+        if self.telemetry.is_enabled() {
+            let depth: u64 = self.shards.iter().map(|s| s.queue.len() as u64).sum();
+            self.telemetry.gauge_set(|r| &r.merge_hold_depth, depth);
+        }
     }
 
     /// Releases every match now globally ordered — head of some shard
@@ -84,11 +101,14 @@ impl MatchMerger {
                 .shards
                 .iter()
                 .enumerate()
-                .filter_map(|(i, s)| s.queue.front().map(|t| ((t.seq, t.gid), i)))
+                .filter_map(|(i, s)| s.queue.front().map(|(t, _)| ((t.seq, t.gid), i)))
                 .min();
             match best {
                 Some(((seq, _), i)) if seq <= safe_seq => {
-                    emit(self.shards[i].queue.pop_front().expect("head exists"));
+                    let (t, arrived) = self.shards[i].queue.pop_front().expect("head exists");
+                    self.telemetry.add(|r| &r.merge_released, 1);
+                    self.telemetry.observe_elapsed(|r| &r.merge_release_ns, arrived);
+                    emit(t);
                 }
                 _ => break,
             }

@@ -146,6 +146,13 @@ impl ShardedEngine {
         self.multi.plan_stats()
     }
 
+    /// Attaches a telemetry handle. Beyond the single-threaded counters,
+    /// sharded runs record ring occupancy/stalls, worker busy/idle time,
+    /// per-batch shard spans, and merge hold/release statistics.
+    pub fn set_telemetry(&mut self, telemetry: crate::telemetry::Telemetry) {
+        self.multi.set_telemetry(telemetry);
+    }
+
     /// Streams one document; a one-document [`ShardedEngine::session`].
     /// With one shard this *is* [`MultiEngine::run`].
     pub fn run<E: EventSource, F: FnMut(QueryId, Match)>(
@@ -256,8 +263,10 @@ impl ShardedEngine {
         // let alone shipped (every shard's own index would drop it). Scan
         // mode pokes every machine, so everything ships.
         let filter = use_index.then_some(parts.index);
-        let rings: Vec<Arc<Ring<EventBatch>>> =
-            (0..nshards).map(|_| Arc::new(Ring::new(RING_BATCHES))).collect();
+        let telemetry = parts.driver.telemetry();
+        let rings: Vec<Arc<Ring<EventBatch>>> = (0..nshards)
+            .map(|_| Arc::new(Ring::with_telemetry(RING_BATCHES, telemetry.clone())))
+            .collect();
         let (tx, rx): (Sender<WorkerReport>, Receiver<WorkerReport>) = channel();
         thread::scope(|scope| {
             let mut prefix_maps = prefix_maps.into_iter();
@@ -383,8 +392,9 @@ impl ThreadedSession<'_> {
         reader: E,
         mut on_match: F,
     ) -> EngineResult<MultiOutput> {
+        let telemetry = self.driver.telemetry();
         let mut matches: Vec<Vec<Match>> = self.record_groups.iter().map(|_| Vec::new()).collect();
-        let mut merger = MatchMerger::new(self.nshards);
+        let mut merger = MatchMerger::with_telemetry(self.nshards, telemetry.clone());
         let mut group_stats: Vec<MachineStats> = vec![MachineStats::default(); self.group_slots];
         let mut group_bytes = 0u64;
         let mut done = 0usize;
@@ -395,6 +405,7 @@ impl ThreadedSession<'_> {
             let mut pump = DocPump {
                 interner: self.interner,
                 filter: self.filter,
+                telemetry: &telemetry,
                 trie: self.trie.as_deref_mut(),
                 rings: self.rings,
                 rx: self.rx,
@@ -432,7 +443,7 @@ impl ThreadedSession<'_> {
             stream
         };
         let stream: StreamStats = stream?;
-        let stats = self
+        let stats: Vec<MachineStats> = self
             .record_groups
             .iter()
             .map(|g| match g {
@@ -450,6 +461,16 @@ impl ThreadedSession<'_> {
             plan.prefix_steps_saved = run.steps_saved;
             plan.prefix_forks = run.forks;
             plan.prefix_stack_bytes = run.peak_stack_bytes();
+        }
+        if telemetry.is_enabled() {
+            // Mirror MultiEngine::run's deterministic folds so the
+            // counters cannot depend on the shard count: per subscription,
+            // plus the plan snapshot and the total match count.
+            for s in &stats {
+                telemetry.fold_machine(s);
+            }
+            telemetry.fold_plan(&plan);
+            telemetry.add_matches(matches.iter().map(|m| m.len() as u64).sum());
         }
         Ok(MultiOutput {
             matches,
@@ -496,6 +517,8 @@ fn fan_out<F: FnMut(QueryId, Match)>(
 struct DocPump<'a, F: FnMut(QueryId, Match)> {
     interner: &'a Interner,
     filter: Option<&'a crate::multi::DispatchIndex>,
+    /// Records the broadcast batch-size histogram.
+    telemetry: &'a crate::telemetry::Telemetry,
     /// `Some` under prefix sharing: the global trie, advanced here once
     /// per element event; the resulting pushes ship inside
     /// [`ShardEvent::Start`].
@@ -565,6 +588,7 @@ impl<F: FnMut(QueryId, Match)> DocPump<'_, F> {
         if self.batch.is_empty() {
             return;
         }
+        self.telemetry.observe(|r| &r.batch_events, self.batch.len() as u64);
         let batch: EventBatch = std::mem::take(&mut self.batch).into();
         for ring in self.rings {
             ring.push(batch.clone());

@@ -11,6 +11,7 @@
 use std::collections::{HashMap, VecDeque};
 use std::sync::mpsc::Sender;
 use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
 
 use vitex_xmlsax::event::Attribute;
 use vitex_xmlsax::pos::ByteSpan;
@@ -20,6 +21,7 @@ use crate::multi::DispatchIndex;
 use crate::plan::{PlanGroup, TriePush};
 use crate::result::NodeId;
 use crate::stats::MachineStats;
+use crate::telemetry::{Telemetry, TID_SHARD_BASE};
 
 use super::merge::TaggedMatch;
 
@@ -80,6 +82,9 @@ pub(crate) struct Ring<T> {
     not_full: Condvar,
     not_empty: Condvar,
     capacity: usize,
+    /// Occupancy, stall and idle accounting; disabled handles make every
+    /// recording call a no-op.
+    telemetry: Telemetry,
 }
 
 #[derive(Debug)]
@@ -89,8 +94,15 @@ struct RingState<T> {
 }
 
 impl<T> Ring<T> {
-    /// A ring holding at most `capacity` items.
+    /// A ring holding at most `capacity` items, with no telemetry.
+    #[cfg(test)]
     pub(crate) fn new(capacity: usize) -> Self {
+        Ring::with_telemetry(capacity, Telemetry::disabled())
+    }
+
+    /// A ring holding at most `capacity` items that records occupancy,
+    /// enqueue stalls and consumer idle time into `telemetry`.
+    pub(crate) fn with_telemetry(capacity: usize, telemetry: Telemetry) -> Self {
         Ring {
             state: Mutex::new(RingState {
                 queue: VecDeque::with_capacity(capacity),
@@ -99,6 +111,7 @@ impl<T> Ring<T> {
             not_full: Condvar::new(),
             not_empty: Condvar::new(),
             capacity: capacity.max(1),
+            telemetry,
         }
     }
 
@@ -106,11 +119,19 @@ impl<T> Ring<T> {
     /// after [`Ring::close`] are dropped (the consumer is gone).
     pub(crate) fn push(&self, item: T) {
         let mut state = self.state.lock().expect("ring lock");
-        while state.queue.len() >= self.capacity && !state.closed {
-            state = self.not_full.wait(state).expect("ring lock");
+        if state.queue.len() >= self.capacity && !state.closed {
+            // Backpressure engaged: the consumer shard is behind.
+            let t_stall = self.telemetry.timer();
+            self.telemetry.add(|r| &r.ring_enqueue_stalls, 1);
+            while state.queue.len() >= self.capacity && !state.closed {
+                state = self.not_full.wait(state).expect("ring lock");
+            }
+            self.telemetry.add_elapsed(|r| &r.ring_stall_ns, t_stall);
         }
         if !state.closed {
             state.queue.push_back(item);
+            self.telemetry.add(|r| &r.ring_batches, 1);
+            self.telemetry.gauge_set(|r| &r.ring_occupancy, state.queue.len() as u64);
             drop(state);
             self.not_empty.notify_one();
         }
@@ -120,14 +141,20 @@ impl<T> Ring<T> {
     /// `None` once the ring is closed **and** drained.
     pub(crate) fn pop(&self) -> Option<T> {
         let mut state = self.state.lock().expect("ring lock");
+        let mut t_idle: Option<Instant> = None;
         loop {
             if let Some(item) = state.queue.pop_front() {
                 drop(state);
+                self.telemetry.add_elapsed(|r| &r.worker_idle_ns, t_idle);
                 self.not_full.notify_one();
                 return Some(item);
             }
             if state.closed {
+                self.telemetry.add_elapsed(|r| &r.worker_idle_ns, t_idle);
                 return None;
+            }
+            if t_idle.is_none() {
+                t_idle = self.telemetry.timer();
             }
             state = self.not_empty.wait(state).expect("ring lock");
         }
@@ -174,7 +201,9 @@ pub(crate) struct GroupSnapshot {
 /// The worker loop: runs on its own thread for the lifetime of a session,
 /// processing batches until the ring closes. `groups` is this shard's
 /// subset in ascending group-id order; `nsymbols` sizes the local
-/// dispatch index (the interner is frozen for the session).
+/// dispatch index (the interner is frozen for the session). Telemetry
+/// (batch timing, busy time, per-batch spans) records through the handle
+/// the ring was built with.
 pub(crate) fn run_worker(
     shard: usize,
     mut groups: Vec<(usize, &mut PlanGroup)>,
@@ -189,6 +218,7 @@ pub(crate) fn run_worker(
     // wakes up, and report the poisoning so it stops waiting for our
     // DocEnd acknowledgement and re-raises at the scope join.
     let _poison_on_panic = PoisonGuard { shard, ring: &ring, out: &out };
+    let telemetry = ring.telemetry.clone();
 
     // Local dispatch structures over this shard's subset, keyed by global
     // group id so match tags are globally comparable. Under prefix
@@ -219,7 +249,9 @@ pub(crate) fn run_worker(
 
     let mut matches: Vec<TaggedMatch> = Vec::new();
     let mut through_seq = 0u64;
+    let shard_tid = TID_SHARD_BASE + shard as u32;
     while let Some(batch) = ring.pop() {
+        let t_batch = telemetry.timer();
         let mut doc_stats = None;
         for event in batch.iter() {
             // Routes this event to the machine of local group `li`. Both
@@ -369,6 +401,8 @@ pub(crate) fn run_worker(
                 }
             }
         }
+        telemetry.add_elapsed(|r| &r.worker_busy_ns, t_batch);
+        telemetry.record_span("batch", "shard", shard_tid, t_batch);
         let report = WorkerReport {
             shard,
             matches: std::mem::take(&mut matches),

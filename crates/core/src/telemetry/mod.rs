@@ -1,0 +1,351 @@
+//! Unified telemetry layer: metrics registry, stage spans, and exportable
+//! traces across parse → plan → shard → merge.
+//!
+//! All pipeline stages record through one [`Telemetry`] handle — a cheap
+//! clone-able wrapper around an optional `Arc`. When telemetry is disabled
+//! (the default) the handle holds `None` and every recording method is an
+//! `#[inline]` early return that touches no atomics, takes no clock
+//! readings, and allocates nothing; `bench_telemetry` verifies the
+//! disabled path costs nothing measurable. When enabled, counters and
+//! histograms are relaxed atomics shared across the coordinator, parse
+//! workers, and shard workers, and coarse-grained spans land in a bounded
+//! ring for Chrome-trace export.
+//!
+//! Deterministic counters (stream, machine, plan, prefix) are folded from
+//! the per-run stat structs *after* a run — on the document thread, per
+//! subscription — so their values are invariant across dispatch modes and
+//! shard counts by construction. Timing counters, ring/backpressure
+//! metrics, and parse front-end counters are recorded live from whichever
+//! thread does the work and are scheduling-dependent.
+
+pub mod export;
+pub mod metrics;
+pub mod span;
+
+pub use export::{trace_json, Snapshot, SNAPSHOT_SCHEMA};
+pub use metrics::{Counter, CounterRow, Gauge, GaugeRow, Histogram, HistogramRow, Registry};
+pub use span::{Span, SpanRecorder, TID_COORDINATOR, TID_PARSE_BASE, TID_SHARD_BASE};
+
+use crate::stats::{MachineStats, PlanStats, StreamStats};
+use std::sync::Arc;
+use std::time::Instant;
+use vitex_xmlsax::probe::ParseProbe;
+use vitex_xmlsax::ParStats;
+
+#[derive(Debug)]
+struct Inner {
+    registry: Registry,
+    spans: SpanRecorder,
+    epoch: Instant,
+}
+
+/// Shared handle to the telemetry sinks; `None` inside means disabled and
+/// every recording call is a no-op.
+#[derive(Debug, Clone, Default)]
+pub struct Telemetry {
+    inner: Option<Arc<Inner>>,
+}
+
+impl Telemetry {
+    /// The no-op handle (the default): recording never touches an atomic.
+    pub fn disabled() -> Telemetry {
+        Telemetry { inner: None }
+    }
+
+    /// A live handle with a fresh registry and span ring. The epoch for
+    /// span timestamps is the moment of this call.
+    pub fn enabled() -> Telemetry {
+        Telemetry {
+            inner: Some(Arc::new(Inner {
+                registry: Registry::default(),
+                spans: SpanRecorder::default(),
+                epoch: Instant::now(),
+            })),
+        }
+    }
+
+    /// Whether recording is live.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Add `n` to the counter selected from the registry.
+    #[inline]
+    pub fn add(&self, pick: impl FnOnce(&Registry) -> &Counter, n: u64) {
+        if let Some(inner) = &self.inner {
+            pick(&inner.registry).add(n);
+        }
+    }
+
+    /// Record a gauge level (also folds the high-water mark).
+    #[inline]
+    pub fn gauge_set(&self, pick: impl FnOnce(&Registry) -> &Gauge, v: u64) {
+        if let Some(inner) = &self.inner {
+            pick(&inner.registry).set(v);
+        }
+    }
+
+    /// Record one histogram sample.
+    #[inline]
+    pub fn observe(&self, pick: impl FnOnce(&Registry) -> &Histogram, v: u64) {
+        if let Some(inner) = &self.inner {
+            pick(&inner.registry).observe(v);
+        }
+    }
+
+    /// Start a timing interval: `Some(now)` when enabled, `None` (no clock
+    /// read) when disabled. Pair with [`Telemetry::add_elapsed`],
+    /// [`Telemetry::observe_elapsed`], or [`Telemetry::record_span`].
+    #[inline]
+    pub fn timer(&self) -> Option<Instant> {
+        if self.inner.is_some() {
+            Some(Instant::now())
+        } else {
+            None
+        }
+    }
+
+    /// Add the nanoseconds elapsed since `t0` to a counter; returns the
+    /// elapsed ns (0 when disabled).
+    #[inline]
+    pub fn add_elapsed(
+        &self,
+        pick: impl FnOnce(&Registry) -> &Counter,
+        t0: Option<Instant>,
+    ) -> u64 {
+        match (&self.inner, t0) {
+            (Some(inner), Some(t0)) => {
+                let ns = t0.elapsed().as_nanos() as u64;
+                pick(&inner.registry).add(ns);
+                ns
+            }
+            _ => 0,
+        }
+    }
+
+    /// Record the nanoseconds elapsed since `t0` as a histogram sample.
+    #[inline]
+    pub fn observe_elapsed(&self, pick: impl FnOnce(&Registry) -> &Histogram, t0: Option<Instant>) {
+        if let (Some(inner), Some(t0)) = (&self.inner, t0) {
+            pick(&inner.registry).observe(t0.elapsed().as_nanos() as u64);
+        }
+    }
+
+    /// Record a span from `t0` to now on logical thread `tid`.
+    #[inline]
+    pub fn record_span(
+        &self,
+        name: &'static str,
+        cat: &'static str,
+        tid: u32,
+        t0: Option<Instant>,
+    ) {
+        if let (Some(inner), Some(t0)) = (&self.inner, t0) {
+            let dur_ns = t0.elapsed().as_nanos() as u64;
+            let start_ns =
+                t0.checked_duration_since(inner.epoch).map(|d| d.as_nanos() as u64).unwrap_or(0);
+            inner.spans.record(Span { name, cat, tid, start_ns, dur_ns });
+        }
+    }
+
+    /// Record a span with an explicit start instant and duration (used by
+    /// parse workers that measured the interval themselves).
+    pub fn record_span_at(
+        &self,
+        name: &'static str,
+        cat: &'static str,
+        tid: u32,
+        start: Instant,
+        dur_ns: u64,
+    ) {
+        if let Some(inner) = &self.inner {
+            let start_ns =
+                start.checked_duration_since(inner.epoch).map(|d| d.as_nanos() as u64).unwrap_or(0);
+            inner.spans.record(Span { name, cat, tid, start_ns, dur_ns });
+        }
+    }
+
+    /// The live registry, when enabled.
+    pub fn registry(&self) -> Option<&Registry> {
+        self.inner.as_deref().map(|i| &i.registry)
+    }
+
+    /// Snapshot all metrics, when enabled.
+    pub fn snapshot(&self) -> Option<Snapshot> {
+        self.inner.as_deref().map(|i| Snapshot::capture(&i.registry, &i.spans))
+    }
+
+    /// Retained spans sorted by start time, when enabled.
+    pub fn spans(&self) -> Option<Vec<Span>> {
+        self.inner.as_deref().map(|i| i.spans.collect())
+    }
+
+    // ----- deterministic folds from the per-run stat structs -----
+
+    /// Fold document-stream counters (called once per scan by the driver).
+    pub fn fold_stream(&self, s: &StreamStats) {
+        if let Some(inner) = &self.inner {
+            let r = &inner.registry;
+            r.stream_events.add(s.events);
+            r.stream_elements.add(s.elements);
+            r.stream_text_nodes.add(s.text_nodes);
+        }
+    }
+
+    /// Fold one subscription's machine counters. Folding per subscription —
+    /// not per plan group — keeps the totals plan-mode-invariant: a query
+    /// that duplicates another reports the shared machine's stats under
+    /// both subscriptions, exactly as unshared planning would.
+    pub fn fold_machine(&self, s: &MachineStats) {
+        if let Some(inner) = &self.inner {
+            let r = &inner.registry;
+            r.machine_pushes.add(s.pushes);
+            r.machine_pops.add(s.pops);
+            r.machine_flag_propagations.add(s.flag_propagations);
+            r.machine_candidates_created.add(s.candidates_created);
+            r.machine_candidates_forwarded.add(s.candidates_forwarded);
+            r.machine_candidates_discarded.add(s.candidates_discarded);
+            r.machine_emitted.add(s.emitted);
+            r.machine_duplicates_suppressed.add(s.duplicates_suppressed);
+            r.machine_peak_entries.add(s.peak_entries);
+            r.machine_peak_candidates.add(s.peak_candidates);
+            r.machine_peak_bytes.add(s.peak_bytes);
+        }
+    }
+
+    /// Fold plan-level counters (called once per run).
+    pub fn fold_plan(&self, p: &PlanStats) {
+        if let Some(inner) = &self.inner {
+            let r = &inner.registry;
+            r.plan_queries.add(p.queries);
+            r.plan_groups.add(p.groups);
+            r.plan_machine_nodes.add(p.machine_nodes);
+            r.plan_trie_nodes.add(p.trie_nodes);
+            r.plan_shared_trie_nodes.add(p.shared_trie_nodes);
+            r.plan_bytes.add(p.plan_bytes);
+            r.prefix_steps_executed.add(p.prefix_steps_executed);
+            r.prefix_steps_saved.add(p.prefix_steps_saved);
+            r.prefix_forks.add(p.prefix_forks);
+            r.prefix_stack_bytes.add(p.prefix_stack_bytes);
+        }
+    }
+
+    /// Count emitted matches (deterministic across all execution modes).
+    #[inline]
+    pub fn add_matches(&self, n: u64) {
+        self.add(|r| &r.matches_emitted, n);
+    }
+
+    /// Fold the parallel-parse front-end statistics after a run.
+    pub fn fold_par(&self, s: &ParStats) {
+        if let Some(inner) = &self.inner {
+            let r = &inner.registry;
+            r.parse_chunks.add(s.chunks as u64);
+            r.parse_misspeculated.add(s.misspeculated as u64);
+            r.parse_reparsed.add(s.reparsed as u64);
+            if s.sequential_fallback {
+                r.parse_sequential_fallback.add(1);
+            }
+        }
+    }
+}
+
+/// The telemetry handle doubles as the parse front-end's probe: scanner
+/// byte counts, speculative chunk spans, and stitch time land in the same
+/// registry as everything else.
+impl ParseProbe for Telemetry {
+    fn on_scan_bytes(&self, wide: u64, scalar: u64) {
+        if let Some(inner) = &self.inner {
+            inner.registry.scan_wide_bytes.add(wide);
+            inner.registry.scan_scalar_bytes.add(scalar);
+        }
+    }
+
+    fn on_chunk(&self, worker: usize, _bytes: u64, start: Instant, dur_ns: u64) {
+        if let Some(inner) = &self.inner {
+            inner.registry.chunk_ns.observe(dur_ns);
+            let tid = TID_PARSE_BASE + worker as u32;
+            let start_ns =
+                start.checked_duration_since(inner.epoch).map(|d| d.as_nanos() as u64).unwrap_or(0);
+            inner.spans.record(Span { name: "chunk", cat: "parse", tid, start_ns, dur_ns });
+        }
+    }
+
+    fn on_stitch(&self, ns: u64) {
+        self.add(|r| &r.parse_stitch_ns, ns);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_is_inert() {
+        let tel = Telemetry::disabled();
+        assert!(!tel.is_enabled());
+        assert!(tel.timer().is_none());
+        tel.add(|r| &r.stream_events, 5);
+        tel.gauge_set(|r| &r.ring_occupancy, 5);
+        tel.observe(|r| &r.dispatch_ns, 5);
+        tel.fold_stream(&StreamStats { elements: 1, text_nodes: 1, events: 1 });
+        assert!(tel.snapshot().is_none());
+        assert!(tel.spans().is_none());
+    }
+
+    #[test]
+    fn enabled_records_and_snapshots() {
+        let tel = Telemetry::enabled();
+        assert!(tel.is_enabled());
+        tel.add(|r| &r.stream_events, 5);
+        tel.add_matches(2);
+        let t0 = tel.timer();
+        assert!(t0.is_some());
+        let ns = tel.add_elapsed(|r| &r.worker_busy_ns, t0);
+        tel.record_span("document", "stream", TID_COORDINATOR, t0);
+        let snap = tel.snapshot().unwrap();
+        assert_eq!(snap.counter("vitex_stream_events_total"), Some(5));
+        assert_eq!(snap.counter("vitex_matches_total"), Some(2));
+        assert_eq!(snap.counter("vitex_worker_busy_ns_total"), Some(ns));
+        let spans = tel.spans().unwrap();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].name, "document");
+    }
+
+    #[test]
+    fn fold_machine_sums_per_subscription() {
+        let tel = Telemetry::enabled();
+        let mut s = MachineStats::default();
+        s.on_push(100);
+        tel.fold_machine(&s);
+        tel.fold_machine(&s);
+        let snap = tel.snapshot().unwrap();
+        assert_eq!(snap.counter("vitex_machine_pushes_total"), Some(2));
+        assert_eq!(snap.counter("vitex_machine_peak_bytes_sum"), Some(200));
+    }
+
+    #[test]
+    fn clones_share_the_registry() {
+        let tel = Telemetry::enabled();
+        let clone = tel.clone();
+        clone.add(|r| &r.ring_batches, 3);
+        assert_eq!(tel.snapshot().unwrap().counter("vitex_ring_batches_total"), Some(3));
+    }
+
+    #[test]
+    fn probe_records_scan_and_chunks() {
+        let tel = Telemetry::enabled();
+        let probe: &dyn ParseProbe = &tel;
+        probe.on_scan_bytes(100, 7);
+        probe.on_chunk(2, 4096, Instant::now(), 1234);
+        probe.on_stitch(55);
+        let snap = tel.snapshot().unwrap();
+        assert_eq!(snap.counter("vitex_scan_wide_bytes_total"), Some(100));
+        assert_eq!(snap.counter("vitex_scan_scalar_bytes_total"), Some(7));
+        assert_eq!(snap.counter("vitex_parse_stitch_ns_total"), Some(55));
+        let spans = tel.spans().unwrap();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].tid, TID_PARSE_BASE + 2);
+    }
+}

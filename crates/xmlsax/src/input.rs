@@ -29,6 +29,13 @@ pub struct Scanner<R: Read> {
     pos: TextPosition,
     /// Whether class runs use the SWAR word-at-a-time scan.
     wide: bool,
+    /// Class-run bytes advanced by the SWAR wide path (plain integers:
+    /// the accounting is two adds per *run*, not per byte, so it stays on
+    /// even when no probe ever reads it).
+    scan_wide_bytes: u64,
+    /// Class-run bytes advanced by the scalar path (including the short
+    /// scalar probe that precedes every wide scan).
+    scan_scalar_bytes: u64,
 }
 
 impl<R: Read> Scanner<R> {
@@ -47,6 +54,8 @@ impl<R: Read> Scanner<R> {
             source_eof: false,
             pos: TextPosition::START,
             wide: true,
+            scan_wide_bytes: 0,
+            scan_scalar_bytes: 0,
         }
     }
 
@@ -64,6 +73,14 @@ impl<R: Read> Scanner<R> {
     /// for isolating the wide-scan speedup in benchmarks.
     pub fn set_wide_scan(&mut self, wide: bool) {
         self.wide = wide;
+    }
+
+    /// Class-run scan accounting since construction: `(wide_bytes,
+    /// scalar_bytes)`. Only the bulk class-run path is counted — char-wise
+    /// consumption (markup punctuation, UTF-8, `\r` normalization) is not
+    /// scanning in the memchr sense.
+    pub fn scan_counts(&self) -> (u64, u64) {
+        (self.scan_wide_bytes, self.scan_scalar_bytes)
     }
 
     /// Current position (of the next unconsumed byte).
@@ -277,6 +294,15 @@ impl<R: Read> Scanner<R> {
             let run = &self.buf[self.start..self.start + n];
             sink(run);
             self.pos.advance_ascii_run(run);
+            if self.wide && class.wide.ok {
+                // The first word of every run is probed scalar-wise before
+                // the SWAR loop takes over (see ByteClass::find_stop).
+                let probe = n.min(8) as u64;
+                self.scan_scalar_bytes += probe;
+                self.scan_wide_bytes += n as u64 - probe;
+            } else {
+                self.scan_scalar_bytes += n as u64;
+            }
             self.start += n;
             total += n;
             if n < window.len() {
@@ -740,6 +766,22 @@ mod tests {
         assert_eq!(sc.peek_byte().unwrap(), Some(b'x'));
         assert_eq!(sc.position().line, 2);
         assert_eq!(sc.position().column, 3);
+    }
+
+    #[test]
+    fn scan_counts_split_wide_and_scalar() {
+        static ALL: ByteClass = ByteClass::new([true; 256]);
+        let text = "x".repeat(100);
+        let mut sc = scan(&text);
+        sc.skip_class_run(&ALL).unwrap();
+        let (wide, scalar) = sc.scan_counts();
+        assert_eq!(wide + scalar, 100);
+        assert_eq!(scalar, 8, "first word is always probed scalar-wise");
+        // With the wide scan disabled everything is scalar.
+        let mut sc = scan(&text);
+        sc.set_wide_scan(false);
+        sc.skip_class_run(&ALL).unwrap();
+        assert_eq!(sc.scan_counts(), (0, 100));
     }
 
     #[test]

@@ -74,6 +74,7 @@ pub mod input;
 pub mod name;
 pub mod par;
 pub mod pos;
+pub mod probe;
 pub mod push;
 pub mod reader;
 pub mod writer;
@@ -83,4 +84,5 @@ pub use event::{Attribute, CharactersEvent, EndElementEvent, StartElementEvent, 
 pub use name::QName;
 pub use par::{ParStats, ParallelConfig, ParallelReader};
 pub use pos::TextPosition;
+pub use probe::{ParseProbe, ProbeHandle};
 pub use reader::{EventSource, ReaderConfig, XmlReader};

@@ -39,11 +39,13 @@
 
 use std::io::Cursor;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
 
 use crate::error::{XmlError, XmlErrorKind, XmlResult};
 use crate::event::XmlEvent;
 use crate::name::QName;
 use crate::pos::{ByteSpan, TextPosition};
+use crate::probe::ProbeHandle;
 use crate::reader::{EventSource, ReaderConfig, XmlReader};
 
 /// Chunks smaller than this are not worth a thread hop; the splitter
@@ -146,6 +148,21 @@ impl ParallelReader {
 
     /// Parses with explicit configuration.
     pub fn with_config(bytes: Vec<u8>, config: ParallelConfig) -> Self {
+        ParallelReader::with_config_probe(bytes, config, None)
+    }
+
+    /// Parses with explicit configuration and an observability probe (see
+    /// [`crate::probe::ParseProbe`]). The probe receives per-chunk parse
+    /// timings from the worker threads during this constructor, stitch
+    /// timings from the coordinator as the replay progresses, and scanner
+    /// byte counts as each internal reader finishes. Taken as a
+    /// constructor argument (not via [`ParallelConfig`]) because all
+    /// speculative parsing happens before this function returns.
+    pub fn with_config_probe(
+        bytes: Vec<u8>,
+        config: ParallelConfig,
+        probe: Option<ProbeHandle>,
+    ) -> Self {
         let boundaries = if config.threads > 1 && !has_doctype(&bytes) {
             split_points(&bytes, config.threads, config.chunk_bytes)
         } else {
@@ -153,11 +170,15 @@ impl ParallelReader {
         };
         if boundaries.is_empty() {
             let stats = ParStats { sequential_fallback: true, ..ParStats::default() };
-            let reader =
+            let mut reader =
                 Box::new(XmlReader::with_config(Cursor::new(bytes), config.reader.clone()));
+            if let Some(p) = probe {
+                reader.set_probe(p);
+            }
             return ParallelReader { inner: Inner::Seq { reader, stats } };
         }
-        let frags = parse_chunks(&bytes, &boundaries, config.threads, &config.reader);
+        let frags =
+            parse_chunks(&bytes, &boundaries, config.threads, &config.reader, probe.as_ref());
         let stats = ParStats { chunks: frags.len(), ..ParStats::default() };
         ParallelReader {
             inner: Inner::Par(Box::new(Replay {
@@ -174,6 +195,7 @@ impl ParallelReader {
                 done: false,
                 failed: None,
                 stats,
+                probe,
             })),
         }
     }
@@ -297,6 +319,7 @@ fn parse_chunks(
     boundaries: &[u64],
     threads: usize,
     config: &ReaderConfig,
+    probe: Option<&ProbeHandle>,
 ) -> Vec<Fragment> {
     let n = boundaries.len() + 1;
     let target_end = |i: usize| -> u64 {
@@ -311,7 +334,7 @@ fn parse_chunks(
     let mut slots: Vec<Option<Fragment>> = (0..n).map(|_| None).collect();
     std::thread::scope(|s| {
         let handles: Vec<_> = (0..workers)
-            .map(|_| {
+            .map(|w| {
                 let next = &next;
                 s.spawn(move || {
                     let mut produced = Vec::new();
@@ -320,11 +343,16 @@ fn parse_chunks(
                         if i >= n {
                             break;
                         }
+                        let t0 = probe.map(|_| Instant::now());
                         let frag = if i == 0 {
-                            parse_prefix(bytes, target_end(0), config)
+                            parse_prefix(bytes, target_end(0), config, probe)
                         } else {
-                            parse_fragment(bytes, boundaries[i - 1], target_end(i), config)
+                            parse_fragment(bytes, boundaries[i - 1], target_end(i), config, probe)
                         };
+                        if let (Some(p), Some(t0)) = (probe, t0) {
+                            let covered = frag.end.saturating_sub(frag.start);
+                            p.on_chunk(w, covered, t0, t0.elapsed().as_nanos() as u64);
+                        }
                         produced.push((i, frag));
                     }
                     produced
@@ -343,19 +371,36 @@ fn parse_chunks(
 /// Chunk 0: the ordinary sequential reader over the document prefix, so
 /// the prolog (BOM, XML declaration, comments, PIs) and the root start are
 /// handled with fully absolute state.
-fn parse_prefix(bytes: &[u8], target_end: u64, config: &ReaderConfig) -> Fragment {
-    let reader = XmlReader::with_config(Cursor::new(bytes), config.clone());
+fn parse_prefix(
+    bytes: &[u8],
+    target_end: u64,
+    config: &ReaderConfig,
+    probe: Option<&ProbeHandle>,
+) -> Fragment {
+    let mut reader = XmlReader::with_config(Cursor::new(bytes), config.clone());
+    if let Some(p) = probe {
+        reader.set_probe(p.clone());
+    }
     drive(reader, 0, target_end, true)
 }
 
 /// A speculative fragment: starts at `start` (a `<` byte) in content
 /// state. Depth limits are deferred to the replay, which knows absolute
 /// depths.
-fn parse_fragment(bytes: &[u8], start: u64, target_end: u64, config: &ReaderConfig) -> Fragment {
+fn parse_fragment(
+    bytes: &[u8],
+    start: u64,
+    target_end: u64,
+    config: &ReaderConfig,
+    probe: Option<&ProbeHandle>,
+) -> Fragment {
     let mut cfg = config.clone();
     cfg.max_depth = usize::MAX;
     let origin = TextPosition::new(start, 1, 1);
-    let reader = XmlReader::fragment(Cursor::new(&bytes[start as usize..]), cfg, origin);
+    let mut reader = XmlReader::fragment(Cursor::new(&bytes[start as usize..]), cfg, origin);
+    if let Some(p) = probe {
+        reader.set_probe(p.clone());
+    }
     drive(reader, start, target_end, false)
 }
 
@@ -415,6 +460,8 @@ struct Replay {
     /// Sticky terminal error: once returned, returned again.
     failed: Option<XmlError>,
     stats: ParStats,
+    /// Observability hook: stitch (inline reparse) time is reported here.
+    probe: Option<ProbeHandle>,
 }
 
 impl Replay {
@@ -505,8 +552,18 @@ impl Replay {
             None => self.bytes.len() as u64,
         };
         self.stats.reparsed += 1;
-        self.cur = Some(parse_fragment(&self.bytes, self.cursor, target, &self.config));
+        let t0 = self.probe.as_ref().map(|_| Instant::now());
+        self.cur = Some(parse_fragment(
+            &self.bytes,
+            self.cursor,
+            target,
+            &self.config,
+            self.probe.as_ref(),
+        ));
         self.cur_event = 0;
+        if let (Some(p), Some(t0)) = (&self.probe, t0) {
+            p.on_stitch(t0.elapsed().as_nanos() as u64);
+        }
         true
     }
 
@@ -791,6 +848,57 @@ mod tests {
         }
         assert!(par.next_event().unwrap().is_end_document());
         assert!(par.next_event().unwrap().is_end_document());
+    }
+
+    #[test]
+    fn probe_sees_chunks_scan_bytes_and_stitches() {
+        use std::sync::atomic::AtomicU64;
+        use std::sync::Arc;
+
+        #[derive(Default)]
+        struct Probe {
+            chunks: AtomicU64,
+            chunk_bytes: AtomicU64,
+            scan_bytes: AtomicU64,
+            stitches: AtomicU64,
+        }
+        impl crate::probe::ParseProbe for Probe {
+            fn on_scan_bytes(&self, wide: u64, scalar: u64) {
+                self.scan_bytes.fetch_add(wide + scalar, Ordering::Relaxed);
+            }
+            fn on_chunk(&self, _worker: usize, bytes: u64, _start: Instant, _dur_ns: u64) {
+                self.chunks.fetch_add(1, Ordering::Relaxed);
+                self.chunk_bytes.fetch_add(bytes, Ordering::Relaxed);
+            }
+            fn on_stitch(&self, _ns: u64) {
+                self.stitches.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+
+        // Seams inside the comment/CDATA force misspeculation; sweep all
+        // chunk sizes so at least some of them leave holes to reparse.
+        let xml = "<r>pre<!-- a <fake> tag --><x/><![CDATA[raw <y>]]>post</r>";
+        let probe = Arc::new(Probe::default());
+        let mut total_reparsed = 0u64;
+        for chunk in 1..=xml.len() {
+            let mut par = ParallelReader::with_config_probe(
+                xml.as_bytes().to_vec(),
+                ParallelConfig {
+                    threads: 3,
+                    chunk_bytes: Some(chunk),
+                    reader: ReaderConfig::default(),
+                },
+                Some(probe.clone()),
+            );
+            while !par.next_event().unwrap().is_end_document() {}
+            total_reparsed += par.stats().reparsed as u64;
+        }
+        let chunks = probe.chunks.load(Ordering::Relaxed);
+        assert!(chunks > 1, "expected speculative chunks, got {chunks}");
+        assert!(probe.chunk_bytes.load(Ordering::Relaxed) > 0);
+        assert!(probe.scan_bytes.load(Ordering::Relaxed) > 0);
+        assert!(total_reparsed > 0, "seams should force at least one reparse");
+        assert_eq!(probe.stitches.load(Ordering::Relaxed), total_reparsed);
     }
 
     #[test]

@@ -1,0 +1,94 @@
+//! Observability hook for the parse front-end.
+//!
+//! `xmlsax` stays dependency-free: it does not know about any metrics
+//! registry. Instead the reader and the parallel front-end accept an
+//! optional [`ParseProbe`] — a thin trait whose methods all default to
+//! no-ops — and report scanner byte counts, speculative chunk timings, and
+//! coordinator stitch time through it. `vitex-core`'s telemetry handle
+//! implements the trait and folds these into its registry.
+//!
+//! Every hook is called outside the innermost scan loops: scanner byte
+//! counts accumulate in plain per-reader integers and are flushed once per
+//! document (or on reader drop), chunk timings fire once per speculative
+//! chunk, and stitch time fires once per inline reparse. A probe therefore
+//! sees a handful of calls per document, not per byte or per event.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Receiver for parse front-end observations. All methods default to
+/// no-ops; implementors override what they record. Probes are shared
+/// across parse worker threads, hence `Send + Sync`.
+pub trait ParseProbe: Send + Sync {
+    /// Scanner byte counts for one reader: bytes advanced by the SWAR wide
+    /// path vs the scalar path. Flushed once per document end (or reader
+    /// drop), with deltas since the previous flush.
+    fn on_scan_bytes(&self, wide: u64, scalar: u64) {
+        let _ = (wide, scalar);
+    }
+
+    /// One speculative chunk parsed by parse worker `worker`, covering
+    /// `bytes` of input, starting at `start` and lasting `dur_ns`.
+    fn on_chunk(&self, worker: usize, bytes: u64, start: Instant, dur_ns: u64) {
+        let _ = (worker, bytes, start, dur_ns);
+    }
+
+    /// Coordinator time (ns) spent reconciling speculative results — the
+    /// inline reparse of fragments whose speculation missed.
+    fn on_stitch(&self, ns: u64) {
+        let _ = ns;
+    }
+}
+
+/// Shared probe handle threaded through readers and parse workers.
+pub type ProbeHandle = Arc<dyn ParseProbe>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[derive(Default)]
+    struct CountingProbe {
+        wide: AtomicU64,
+        scalar: AtomicU64,
+        chunks: AtomicU64,
+        stitch_ns: AtomicU64,
+    }
+
+    impl ParseProbe for CountingProbe {
+        fn on_scan_bytes(&self, wide: u64, scalar: u64) {
+            self.wide.fetch_add(wide, Ordering::Relaxed);
+            self.scalar.fetch_add(scalar, Ordering::Relaxed);
+        }
+        fn on_chunk(&self, _worker: usize, _bytes: u64, _start: Instant, _dur_ns: u64) {
+            self.chunks.fetch_add(1, Ordering::Relaxed);
+        }
+        fn on_stitch(&self, ns: u64) {
+            self.stitch_ns.fetch_add(ns, Ordering::Relaxed);
+        }
+    }
+
+    #[test]
+    fn default_methods_are_noops() {
+        struct Silent;
+        impl ParseProbe for Silent {}
+        let probe: ProbeHandle = Arc::new(Silent);
+        probe.on_scan_bytes(1, 2);
+        probe.on_chunk(0, 10, Instant::now(), 5);
+        probe.on_stitch(3);
+    }
+
+    #[test]
+    fn implementors_receive_calls() {
+        let probe = Arc::new(CountingProbe::default());
+        let handle: ProbeHandle = probe.clone();
+        handle.on_scan_bytes(64, 8);
+        handle.on_chunk(1, 4096, Instant::now(), 100);
+        handle.on_stitch(9);
+        assert_eq!(probe.wide.load(Ordering::Relaxed), 64);
+        assert_eq!(probe.scalar.load(Ordering::Relaxed), 8);
+        assert_eq!(probe.chunks.load(Ordering::Relaxed), 1);
+        assert_eq!(probe.stitch_ns.load(Ordering::Relaxed), 9);
+    }
+}

@@ -20,6 +20,7 @@ use crate::event::{
 use crate::input::{ByteClass, Scanner};
 use crate::name::{self, QName};
 use crate::pos::{ByteSpan, TextPosition};
+use crate::probe::ProbeHandle;
 
 /// Configuration for [`XmlReader`].
 #[derive(Debug, Clone)]
@@ -88,6 +89,15 @@ impl<R: Read> EventSource for XmlReader<R> {
     }
 }
 
+/// A mutable reference to an event source is itself an event source, so
+/// callers can lend a reader to a driver and keep it afterwards (e.g. to
+/// read parse statistics once the run completes).
+impl<E: EventSource + ?Sized> EventSource for &mut E {
+    fn next_event(&mut self) -> XmlResult<XmlEvent> {
+        (**self).next_event()
+    }
+}
+
 /// A streaming, pull-based XML parser.
 pub struct XmlReader<R: Read> {
     scanner: Scanner<R>,
@@ -109,6 +119,11 @@ pub struct XmlReader<R: Read> {
     /// saw open (the coordinator resolves them during replay), and treats
     /// end-of-input as a clean fragment end rather than an error.
     fragment: bool,
+    /// Optional observability hook; scanner byte counts are flushed to it
+    /// at document end and on drop (deltas, so the two never double-count).
+    probe: Option<ProbeHandle>,
+    /// Scan counts already reported to the probe.
+    scan_reported: (u64, u64),
 }
 
 impl XmlReader<Cursor<Vec<u8>>> {
@@ -154,6 +169,8 @@ impl<R: Read> XmlReader<R> {
             seen_doctype: false,
             scratch: String::new(),
             fragment: false,
+            probe: None,
+            scan_reported: (0, 0),
         }
     }
 
@@ -179,6 +196,28 @@ impl<R: Read> XmlReader<R> {
             seen_doctype: false,
             scratch: String::new(),
             fragment: true,
+            probe: None,
+            scan_reported: (0, 0),
+        }
+    }
+
+    /// Attaches an observability probe (see [`crate::probe::ParseProbe`]).
+    /// Scanner byte counts are reported to it when the document ends and
+    /// when the reader is dropped.
+    pub fn set_probe(&mut self, probe: ProbeHandle) {
+        self.probe = Some(probe);
+    }
+
+    /// Reports un-flushed scanner byte counts to the probe, if any.
+    fn flush_scan_probe(&mut self) {
+        if let Some(probe) = &self.probe {
+            let (wide, scalar) = self.scanner.scan_counts();
+            let d_wide = wide - self.scan_reported.0;
+            let d_scalar = scalar - self.scan_reported.1;
+            if d_wide > 0 || d_scalar > 0 {
+                probe.on_scan_bytes(d_wide, d_scalar);
+                self.scan_reported = (wide, scalar);
+            }
         }
     }
 
@@ -211,6 +250,14 @@ impl<R: Read> XmlReader<R> {
     /// Pulls the next event. After [`XmlEvent::EndDocument`] has been
     /// returned, every further call returns it again.
     pub fn next_event(&mut self) -> XmlResult<XmlEvent> {
+        let event = self.next_event_inner();
+        if matches!(&event, Ok(XmlEvent::EndDocument)) {
+            self.flush_scan_probe();
+        }
+        event
+    }
+
+    fn next_event_inner(&mut self) -> XmlResult<XmlEvent> {
         if let Some(end) = self.pending_end.take() {
             self.pop_open();
             if self.open.is_empty() && self.state == DocState::InRoot && !self.fragment {
@@ -1150,6 +1197,14 @@ enum Markup {
     Cdata,
     Doctype,
     Pi,
+}
+
+/// Fragment readers (and aborted documents) may never see `EndDocument`;
+/// the drop flush reports whatever scan bytes the probe has not yet seen.
+impl<R: Read> Drop for XmlReader<R> {
+    fn drop(&mut self) {
+        self.flush_scan_probe();
+    }
 }
 
 /// Iterating a reader yields events up to and including `EndDocument`,

@@ -4,36 +4,33 @@
 //! ```text
 //! vitex [OPTIONS] <QUERY> [FILE]
 //! vitex [OPTIONS] -e <QUERY> [-e <QUERY> ...] [FILE]
-//!
-//! Options:
-//!   -e, --query <Q>     add a query (repeatable; pub/sub mode when > 1)
-//!   --count             print only the number of matches
-//!   --values            print attribute values / text content instead of spans
-//!   --stats             print stream + machine + plan statistics to stderr
-//!   --eager             use the eager (ablation) candidate propagation mode
-//!   --scan-dispatch     multi-query: poke every machine per event (no index)
-//!   --no-plan-sharing   multi-query: one machine per query (no dedup/trie plan)
-//!   --prefix-sharing    multi-query: share runtime state along common main-path
-//!                       prefixes (YFilter-style; same output, less per-event work)
-//!   --shards <N>        run plan groups on N worker threads (default 1)
-//!   --machine           dump the compiled TwigM machine(s) and exit
 //! ```
+//!
+//! Run `vitex --help` for the full option list (every flag carries a
+//! one-line description there).
 //!
 //! With one query the tool runs the single-query [`Engine`]; with several
 //! it runs the [`MultiEngine`] — one parse, one document driver, k TwigM
 //! machines behind the interned-name dispatch index — and prefixes every
 //! line with the originating query's index. `--shards N` (N > 1) routes
 //! any run through the [`ShardedEngine`]: same output, same order,
-//! machines partitioned across N worker threads.
+//! machines partitioned across N worker threads. `--metrics`,
+//! `--metrics-json` and `--trace-out` switch on the unified telemetry
+//! layer: one registry and span ring covering parse → plan → dispatch →
+//! shard → merge.
 
 use std::fs::File;
 use std::io::{self, BufReader, Read, Write};
 use std::process::ExitCode;
+use std::sync::Arc;
 
+use vitex_core::telemetry::{trace_json, Telemetry};
 use vitex_core::{
     DispatchMode, Engine, EvalMode, Match, MatchKind, MultiOutput, PlanMode, ShardedEngine,
 };
-use vitex_xmlsax::{EventSource, ParallelReader, XmlEvent, XmlReader, XmlResult};
+use vitex_xmlsax::{
+    EventSource, ParallelConfig, ParallelReader, ProbeHandle, XmlEvent, XmlReader, XmlResult,
+};
 use vitex_xpath::QueryTree;
 
 struct Options {
@@ -49,30 +46,108 @@ struct Options {
     shards: usize,
     parse_threads: usize,
     machine: bool,
+    metrics: bool,
+    metrics_json: Option<String>,
+    trace_out: Option<String>,
 }
+
+impl Options {
+    /// Whether any telemetry export was requested (the recorder is enabled
+    /// exactly then; otherwise every instrumentation point is a no-op).
+    fn telemetry_requested(&self) -> bool {
+        self.metrics || self.metrics_json.is_some() || self.trace_out.is_some()
+    }
+}
+
+/// Every flag the CLI accepts, for `--help` and the did-you-mean
+/// suggestion on unknown options.
+const FLAGS: &[&str] = &[
+    "-e",
+    "--query",
+    "--count",
+    "--values",
+    "--stats",
+    "--eager",
+    "--scan-dispatch",
+    "--no-plan-sharing",
+    "--prefix-sharing",
+    "--shards",
+    "--parse-threads",
+    "--machine",
+    "--metrics",
+    "--metrics-json",
+    "--trace-out",
+    "-h",
+    "--help",
+];
 
 fn usage() -> ! {
     eprintln!(
-        "usage: vitex [--count] [--values] [--stats] [--eager] [--scan-dispatch]\n\
-         \x20            [--no-plan-sharing] [--prefix-sharing] [--shards N]\n\
-         \x20            [--parse-threads N] [--machine] <QUERY> [FILE]\n\
+        "usage: vitex [OPTIONS] <QUERY> [FILE]\n\
          \x20      vitex [OPTIONS] -e <QUERY> [-e <QUERY> ...] [FILE]\n\
          \n\
          Streams FILE (or stdin) through the TwigM machine(s) and prints every\n\
          node matching each QUERY (XPath fragment: /, //, *, [], @attr, text(),\n\
          value comparisons) as soon as it is decidable. With multiple -e\n\
-         queries the document is scanned once (pub/sub mode): structurally\n\
-         identical queries share one machine (disable with --no-plan-sharing)\n\
-         and every line is prefixed with the query index. --shards N runs the\n\
-         machines on N worker threads with identical, deterministic output.\n\
-         --parse-threads N parses the document itself on N threads (speculative\n\
-         chunked front-end; 0 or 1 = sequential, output always identical).\n\
+         queries the document is scanned once (pub/sub mode) and every output\n\
+         line is prefixed with the query index.\n\
+         \n\
+         options:\n\
+         \x20 -e, --query <Q>        add a query (repeatable; pub/sub mode when more than one)\n\
+         \x20 --count                print only the number of matches (per query in pub/sub mode)\n\
+         \x20 --values               print attribute values / text content instead of byte spans\n\
+         \x20 --stats                print stream + machine + plan (+ parallel-parse) statistics on stderr\n\
+         \x20 --eager                eager (ablation) candidate propagation; single-query sequential runs only\n\
+         \x20 --scan-dispatch        multi-query: poke every machine per event instead of using the dispatch index\n\
+         \x20 --no-plan-sharing      multi-query: one machine per registration (no dedup, no shared-prefix trie)\n\
+         \x20 --prefix-sharing       multi-query: advance shared main-path prefixes once per event (same output)\n\
+         \x20 --shards <N>           run plan groups on N worker threads; output identical to N=1 (default 1)\n\
+         \x20 --parse-threads <N>    parse the document itself on N threads; 0 or 1 = sequential (default 1)\n\
+         \x20 --machine              dump the compiled TwigM machine(s) and exit without reading a document\n\
+         \x20 --metrics              print a human-readable telemetry summary on stderr after the run\n\
+         \x20 --metrics-json <PATH>  write a metrics snapshot (vitex.metrics.v1 JSON) to PATH\n\
+         \x20 --trace-out <PATH>     write stage spans as Chrome trace-event JSON (Perfetto-loadable) to PATH\n\
+         \x20 -h, --help             show this help and exit\n\
          \n\
          examples:\n\
          \x20 vitex '//ProteinEntry[reference]/@id' protein.xml\n\
          \x20 vitex --count '//section[author]//table[position]//cell' book.xml\n\
-         \x20 vitex -e '//quote[symbol = \"ACME\"]/price' -e '//quote/@seq' feed.xml"
+         \x20 vitex -e '//quote[symbol = \"ACME\"]/price' -e '//quote/@seq' feed.xml\n\
+         \x20 vitex --shards 4 --metrics-json m.json --trace-out t.json -e '//a' -e '//b' doc.xml"
     );
+    std::process::exit(2)
+}
+
+/// Levenshtein edit distance, for the unknown-option suggestion.
+fn edit_distance(a: &str, b: &str) -> usize {
+    let (a, b): (Vec<char>, Vec<char>) = (a.chars().collect(), b.chars().collect());
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0usize; b.len() + 1];
+    for (i, &ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            cur[j + 1] = sub.min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+/// Rejects an unrecognized `-`/`--` argument, suggesting the closest known
+/// flag when one is plausibly near.
+fn unknown_flag(arg: &str) -> ! {
+    let nearest = FLAGS
+        .iter()
+        .map(|f| (edit_distance(arg, f), *f))
+        .min()
+        .filter(|(d, _)| *d <= 3)
+        .map(|(_, f)| f);
+    match nearest {
+        Some(f) => eprintln!("vitex: unknown option '{arg}' (did you mean '{f}'?)"),
+        None => eprintln!("vitex: unknown option '{arg}'"),
+    }
+    eprintln!("run 'vitex --help' for the option list");
     std::process::exit(2)
 }
 
@@ -92,6 +167,9 @@ fn parse_args() -> Options {
         shards: 1,
         parse_threads: 1,
         machine: false,
+        metrics: false,
+        metrics_json: None,
+        trace_out: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -116,7 +194,19 @@ fn parse_args() -> Options {
                 None => usage(),
             },
             "--machine" => opts.machine = true,
+            "--metrics" => opts.metrics = true,
+            "--metrics-json" => match args.next() {
+                Some(p) => opts.metrics_json = Some(p),
+                None => usage(),
+            },
+            "--trace-out" => match args.next() {
+                Some(p) => opts.trace_out = Some(p),
+                None => usage(),
+            },
             "--help" | "-h" => usage(),
+            // A lone "-" stays positional (stdin convention); anything else
+            // starting with '-' is a misspelled flag, not a query or file.
+            s if s.len() > 1 && s.starts_with('-') => unknown_flag(s),
             _ if positional_query.is_none() && opts.queries.is_empty() => {
                 positional_query = Some(arg)
             }
@@ -225,22 +315,70 @@ impl EventSource for AnyReader {
 
 /// Builds the event source per `--parse-threads`. The parallel front-end
 /// needs the whole document in memory (it splits it into chunks), so N > 1
-/// slurps FILE / stdin first; 0 and 1 keep the streaming reader.
-fn open_reader(opts: &Options) -> Result<AnyReader, ExitCode> {
+/// slurps FILE / stdin first; 0 and 1 keep the streaming reader. An
+/// enabled telemetry handle doubles as the front-end's [`ParseProbe`]
+/// (scanner byte counts, chunk spans, stitch timings).
+fn open_reader(opts: &Options, telemetry: &Telemetry) -> Result<AnyReader, ExitCode> {
     let mut source = open_source(&opts.file)?;
+    let probe: Option<ProbeHandle> =
+        telemetry.is_enabled().then(|| Arc::new(telemetry.clone()) as ProbeHandle);
     if opts.parse_threads <= 1 {
-        return Ok(AnyReader::Seq(Box::new(XmlReader::new(source))));
+        let mut reader = XmlReader::new(source);
+        if let Some(p) = probe {
+            reader.set_probe(p);
+        }
+        return Ok(AnyReader::Seq(Box::new(reader)));
     }
     let mut bytes = Vec::new();
     if let Err(e) = source.read_to_end(&mut bytes) {
         eprintln!("vitex: {}: {e}", opts.file.as_deref().unwrap_or("<stdin>"));
         return Err(ExitCode::from(2));
     }
-    Ok(AnyReader::Par(Box::new(ParallelReader::from_bytes(bytes, opts.parse_threads))))
+    let config = ParallelConfig { threads: opts.parse_threads, ..ParallelConfig::default() };
+    Ok(AnyReader::Par(Box::new(ParallelReader::with_config_probe(bytes, config, probe))))
+}
+
+/// Post-run front-end accounting: folds the parallel reader's statistics
+/// into the telemetry registry and, under `--stats`, surfaces them on
+/// stderr (the sequential reader has no speculation to report).
+fn finish_parse_stats(reader: &AnyReader, opts: &Options, telemetry: &Telemetry) {
+    if let AnyReader::Par(r) = reader {
+        let s = r.stats();
+        telemetry.fold_par(&s);
+        if opts.stats {
+            eprintln!(
+                "par:        chunks={} misspeculated={} reparsed={} sequential_fallback={}",
+                s.chunks, s.misspeculated, s.reparsed, s.sequential_fallback
+            );
+        }
+    }
+}
+
+/// Writes the requested telemetry exports (`--metrics`, `--metrics-json`,
+/// `--trace-out`). A no-op when telemetry is disabled.
+fn export_telemetry(opts: &Options, telemetry: &Telemetry) -> Result<(), ExitCode> {
+    let Some(snapshot) = telemetry.snapshot() else { return Ok(()) };
+    if opts.metrics {
+        eprint!("{}", snapshot.human_summary());
+    }
+    if let Some(path) = &opts.metrics_json {
+        if let Err(e) = std::fs::write(path, snapshot.to_json()) {
+            eprintln!("vitex: {path}: {e}");
+            return Err(ExitCode::from(2));
+        }
+    }
+    if let Some(path) = &opts.trace_out {
+        let spans = telemetry.spans().unwrap_or_default();
+        if let Err(e) = std::fs::write(path, trace_json(&spans)) {
+            eprintln!("vitex: {path}: {e}");
+            return Err(ExitCode::from(2));
+        }
+    }
+    Ok(())
 }
 
 /// Single-query mode: the classic engine, optionally in eager mode.
-fn run_single(opts: &Options, tree: &QueryTree) -> ExitCode {
+fn run_single(opts: &Options, tree: &QueryTree, telemetry: &Telemetry) -> ExitCode {
     let mode = if opts.eager { EvalMode::Eager } else { EvalMode::Compact };
     let mut engine = match Engine::with_mode(tree, mode) {
         Ok(e) => e,
@@ -249,14 +387,15 @@ fn run_single(opts: &Options, tree: &QueryTree) -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let reader = match open_reader(opts) {
+    engine.set_telemetry(telemetry.clone());
+    let mut reader = match open_reader(opts, telemetry) {
         Ok(r) => r,
         Err(code) => return code,
     };
     let stdout = io::stdout();
     let mut out = stdout.lock();
     let mut count = 0u64;
-    let result = engine.run(reader, |m| {
+    let result = engine.run(&mut reader, |m| {
         count += 1;
         if !opts.count {
             let _ = writeln!(out, "{}", describe(&m, opts.values));
@@ -272,6 +411,10 @@ fn run_single(opts: &Options, tree: &QueryTree) -> ExitCode {
                 eprintln!("text nodes: {}", output.text_nodes);
                 eprintln!("events:     {}", output.events);
                 eprintln!("machine:    {}", output.stats.summary());
+            }
+            finish_parse_stats(&reader, opts, telemetry);
+            if let Err(code) = export_telemetry(opts, telemetry) {
+                return code;
             }
             if count > 0 {
                 ExitCode::SUCCESS
@@ -289,7 +432,7 @@ fn run_single(opts: &Options, tree: &QueryTree) -> ExitCode {
 /// Pub/sub mode: all queries over one scan via the (optionally sharded)
 /// multi-engine. At `--shards 1` — the default — the sharded engine *is*
 /// the single-threaded `MultiEngine::run` path, bit for bit.
-fn run_multi(opts: &Options, trees: &[QueryTree]) -> ExitCode {
+fn run_multi(opts: &Options, trees: &[QueryTree], telemetry: &Telemetry) -> ExitCode {
     let dispatch = if opts.scan_dispatch { DispatchMode::Scan } else { DispatchMode::Indexed };
     let plan = if opts.no_plan_sharing {
         PlanMode::Unshared
@@ -299,13 +442,14 @@ fn run_multi(opts: &Options, trees: &[QueryTree]) -> ExitCode {
         PlanMode::Shared
     };
     let mut multi = ShardedEngine::with_options(opts.shards, dispatch, plan);
+    multi.set_telemetry(telemetry.clone());
     for tree in trees {
         if let Err(e) = multi.add_tree(tree) {
             eprintln!("vitex: {e}");
             return ExitCode::from(2);
         }
     }
-    let reader = match open_reader(opts) {
+    let mut reader = match open_reader(opts, telemetry) {
         Ok(r) => r,
         Err(code) => return code,
     };
@@ -316,7 +460,7 @@ fn run_multi(opts: &Options, trees: &[QueryTree]) -> ExitCode {
     // a pure execution knob, never a format change.
     let prefixed = trees.len() > 1;
     let mut counts = vec![0u64; trees.len()];
-    let result: Result<MultiOutput, _> = multi.run(reader, |qid, m| {
+    let result: Result<MultiOutput, _> = multi.run(&mut reader, |qid, m| {
         counts[qid.0] += 1;
         if !opts.count {
             let line = describe(&m, opts.values);
@@ -355,6 +499,10 @@ fn run_multi(opts: &Options, trees: &[QueryTree]) -> ExitCode {
                     }
                 }
             }
+            finish_parse_stats(&reader, opts, telemetry);
+            if let Err(code) = export_telemetry(opts, telemetry) {
+                return code;
+            }
             if counts.iter().any(|&c| c > 0) {
                 ExitCode::SUCCESS
             } else {
@@ -387,17 +535,19 @@ fn main() -> ExitCode {
     if opts.machine {
         return dump_machines(&trees);
     }
+    let telemetry =
+        if opts.telemetry_requested() { Telemetry::enabled() } else { Telemetry::disabled() };
     // `--prefix-sharing` is a plan-mode knob of the multi-query engine;
     // like `--shards`, it must never change the single-query output
     // format, so a single query routes through the (unprefixed) pub/sub
     // path.
     if trees.len() == 1 && opts.shards == 1 && !opts.prefix_sharing {
-        run_single(&opts, &trees[0])
+        run_single(&opts, &trees[0], &telemetry)
     } else {
         if opts.eager {
             eprintln!("vitex: --eager applies to single-query single-shard runs only");
             return ExitCode::from(2);
         }
-        run_multi(&opts, &trees)
+        run_multi(&opts, &trees, &telemetry)
     }
 }

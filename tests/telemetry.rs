@@ -1,0 +1,272 @@
+//! Telemetry determinism battery: the deterministic counter subset of the
+//! metrics registry must be **byte-identical** across every execution
+//! configuration that is supposed to be an implementation detail —
+//! dispatch mode, plan mode (for the plan-invariant subset), and shard
+//! count — while the timing-derived counters, gauges and histograms are
+//! present in the snapshot but excluded from the deterministic export.
+//!
+//! Also covers the export surface: the `vitex.metrics.v1` JSON snapshot
+//! and the Chrome trace-event JSON must be syntactically valid (checked
+//! with a small hand-rolled JSON walker — the workspace takes no serde
+//! dependency) and must round-trip the counter values the engine reported
+//! through `MultiOutput`.
+
+use vitex::core::telemetry::{trace_json, Telemetry};
+use vitex::core::{DispatchMode, MultiOutput, PlanMode, ShardedEngine};
+use vitex::xmlgen::random::{self, RandomConfig};
+use vitex::xmlsax::XmlReader;
+use vitex::xpath::generate::{GenConfig, QueryGenerator};
+use vitex::xpath::QueryTree;
+
+const SHARDS: &[usize] = &[1, 4];
+
+fn query_set(query_seed: u64) -> Vec<QueryTree> {
+    let mut qgen = QueryGenerator::new(query_seed, GenConfig::default());
+    let mut trees: Vec<QueryTree> = qgen
+        .queries(7)
+        .iter()
+        .map(|q| QueryTree::build(q).expect("generated queries are valid"))
+        .collect();
+    // A literal duplicate exercises dedup fan-out in the folds.
+    trees.push(QueryTree::parse(trees[0].original()).expect("round-trips"));
+    trees
+}
+
+/// Runs one configuration with a fresh enabled telemetry handle; returns
+/// the engine output and the handle for snapshotting.
+fn run_config(
+    trees: &[QueryTree],
+    xml: &str,
+    plan: PlanMode,
+    dispatch: DispatchMode,
+    shards: usize,
+) -> (MultiOutput, Telemetry) {
+    let telemetry = Telemetry::enabled();
+    let mut engine = ShardedEngine::with_options(shards, dispatch, plan);
+    engine.set_telemetry(telemetry.clone());
+    for tree in trees {
+        engine.add_tree(tree).expect("registrable");
+    }
+    let out = engine.run(XmlReader::from_str(xml), |_, _| {}).expect("engine run");
+    (out, telemetry)
+}
+
+#[test]
+fn deterministic_counters_are_invariant_across_dispatch_and_shards() {
+    for (doc_seed, query_seed) in [(11u64, 5u64), (42, 9)] {
+        let xml = random::to_string(&RandomConfig::seeded(doc_seed));
+        let trees = query_set(query_seed);
+        for plan in [PlanMode::Unshared, PlanMode::Shared, PlanMode::PrefixShared] {
+            let mut reference: Option<String> = None;
+            for dispatch in [DispatchMode::Indexed, DispatchMode::Scan] {
+                for &shards in SHARDS {
+                    let (_, telemetry) = run_config(&trees, &xml, plan, dispatch, shards);
+                    let json = telemetry.snapshot().expect("enabled").deterministic_json();
+                    match &reference {
+                        None => reference = Some(json),
+                        Some(r) => assert_eq!(
+                            &json, r,
+                            "doc_seed={doc_seed} query_seed={query_seed} \
+                             {plan:?}/{dispatch:?}/shards={shards}: deterministic \
+                             counters must be byte-identical within a plan mode"
+                        ),
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn stream_and_match_counters_are_invariant_across_plan_modes() {
+    // The machine/plan counters legitimately differ between plan modes
+    // (prefix counters only exist under PrefixShared, dedup changes plan
+    // shape) — but what the document contained and what matched cannot.
+    let xml = random::to_string(&RandomConfig::seeded(3));
+    let trees = query_set(8);
+    let plan_invariant = [
+        "vitex_stream_events_total",
+        "vitex_stream_elements_total",
+        "vitex_stream_text_nodes_total",
+        "vitex_matches_total",
+        "vitex_machine_emitted_total",
+    ];
+    let mut reference: Option<Vec<u64>> = None;
+    for plan in [PlanMode::Unshared, PlanMode::Shared, PlanMode::PrefixShared] {
+        let (_, telemetry) = run_config(&trees, &xml, plan, DispatchMode::Indexed, 1);
+        let snapshot = telemetry.snapshot().expect("enabled");
+        let values: Vec<u64> = plan_invariant
+            .iter()
+            .map(|n| snapshot.counter(n).unwrap_or_else(|| panic!("{n} missing")))
+            .collect();
+        match &reference {
+            None => reference = Some(values),
+            Some(r) => assert_eq!(&values, r, "{plan:?} changes stream/match counters"),
+        }
+    }
+}
+
+#[test]
+fn snapshot_round_trips_engine_output() {
+    let xml = random::to_string(&RandomConfig::seeded(21));
+    let trees = query_set(4);
+    let (out, telemetry) = run_config(&trees, &xml, PlanMode::Shared, DispatchMode::Indexed, 4);
+    let snapshot = telemetry.snapshot().expect("enabled");
+    assert_eq!(snapshot.counter("vitex_stream_events_total"), Some(out.events));
+    assert_eq!(snapshot.counter("vitex_stream_elements_total"), Some(out.elements));
+    assert_eq!(snapshot.counter("vitex_stream_text_nodes_total"), Some(out.text_nodes));
+    let total: u64 = out.matches.iter().map(|m| m.len() as u64).sum();
+    assert_eq!(snapshot.counter("vitex_matches_total"), Some(total));
+    let pushes: u64 = out.stats.iter().map(|s| s.pushes).sum();
+    assert_eq!(snapshot.counter("vitex_machine_pushes_total"), Some(pushes));
+    assert_eq!(snapshot.counter("vitex_plan_queries"), Some(out.plan.queries));
+}
+
+#[test]
+fn timing_metrics_are_present_but_excluded_from_the_deterministic_export() {
+    let xml = random::to_string(&RandomConfig::seeded(13));
+    let trees = query_set(2);
+    let (_, telemetry) = run_config(&trees, &xml, PlanMode::Shared, DispatchMode::Indexed, 4);
+    let snapshot = telemetry.snapshot().expect("enabled");
+    // Wall-clock did pass and the dispatch histogram saw events…
+    assert!(snapshot.counter("vitex_doc_ns_total").unwrap() > 0);
+    assert!(snapshot.histograms.iter().any(|h| h.name == "vitex_dispatch_ns" && h.count > 0));
+    assert!(snapshot.histograms.iter().any(|h| h.name == "vitex_batch_events" && h.count > 0));
+    // …but none of it leaks into the deterministic subset.
+    let det = snapshot.deterministic_json();
+    for name in ["doc_ns", "dispatch_ns", "ring_", "worker_", "merge_", "scan_", "parse_"] {
+        assert!(!det.contains(name), "{name} must not appear in {det}");
+    }
+    // Full snapshot still lists every timing counter (zero or not).
+    for name in ["vitex_ring_enqueue_stalls_total", "vitex_worker_busy_ns_total"] {
+        assert!(snapshot.counter(name).is_some(), "{name} missing from snapshot");
+    }
+}
+
+#[test]
+fn exports_are_valid_json() {
+    let xml = random::to_string(&RandomConfig::seeded(33));
+    let trees = query_set(6);
+    let (_, telemetry) = run_config(&trees, &xml, PlanMode::Shared, DispatchMode::Indexed, 4);
+    let snapshot = telemetry.snapshot().expect("enabled");
+    let metrics = snapshot.to_json();
+    assert_json(&metrics);
+    assert!(metrics.starts_with("{\"schema\":\"vitex.metrics.v1\""));
+    let spans = telemetry.spans().expect("enabled");
+    assert!(!spans.is_empty(), "a sharded run records document and batch spans");
+    let trace = trace_json(&spans);
+    assert_json(&trace);
+    assert!(trace.contains("\"traceEvents\""));
+    assert!(trace.contains("\"thread_name\""));
+    assert_json(&snapshot.deterministic_json());
+}
+
+#[test]
+fn disabled_telemetry_snapshots_nothing() {
+    let telemetry = Telemetry::disabled();
+    assert!(telemetry.snapshot().is_none());
+    assert!(telemetry.spans().is_none());
+    // And an engine run with the default (disabled) handle works as before.
+    let mut engine = ShardedEngine::new(2);
+    engine.add_query("//a").unwrap();
+    let out = engine.run(XmlReader::from_str("<a><a/></a>"), |_, _| {}).unwrap();
+    assert_eq!(out.matches[0].len(), 2);
+}
+
+// ---- minimal JSON syntax checker (no serde in the workspace) ----
+
+fn assert_json(s: &str) {
+    let b = s.as_bytes();
+    let mut i = 0usize;
+    skip_value(b, &mut i).unwrap_or_else(|e| panic!("invalid JSON at byte {e}: {s:.120}"));
+    skip_ws(b, &mut i);
+    assert_eq!(i, b.len(), "trailing garbage after JSON value");
+}
+
+fn skip_ws(b: &[u8], i: &mut usize) {
+    while *i < b.len() && matches!(b[*i], b' ' | b'\t' | b'\n' | b'\r') {
+        *i += 1;
+    }
+}
+
+fn skip_value(b: &[u8], i: &mut usize) -> Result<(), usize> {
+    skip_ws(b, i);
+    match b.get(*i).ok_or(*i)? {
+        b'{' => skip_composite(b, i, b'}', true),
+        b'[' => skip_composite(b, i, b']', false),
+        b'"' => skip_string(b, i),
+        b't' => skip_lit(b, i, b"true"),
+        b'f' => skip_lit(b, i, b"false"),
+        b'n' => skip_lit(b, i, b"null"),
+        b'-' | b'0'..=b'9' => {
+            let start = *i;
+            *i += 1;
+            while *i < b.len() && matches!(b[*i], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-') {
+                *i += 1;
+            }
+            if *i > start {
+                Ok(())
+            } else {
+                Err(start)
+            }
+        }
+        _ => Err(*i),
+    }
+}
+
+fn skip_composite(b: &[u8], i: &mut usize, close: u8, keyed: bool) -> Result<(), usize> {
+    *i += 1; // opener
+    skip_ws(b, i);
+    if b.get(*i) == Some(&close) {
+        *i += 1;
+        return Ok(());
+    }
+    loop {
+        if keyed {
+            skip_ws(b, i);
+            skip_string(b, i)?;
+            skip_ws(b, i);
+            if b.get(*i) != Some(&b':') {
+                return Err(*i);
+            }
+            *i += 1;
+        }
+        skip_value(b, i)?;
+        skip_ws(b, i);
+        match b.get(*i).ok_or(*i)? {
+            b',' => *i += 1,
+            c if *c == close => {
+                *i += 1;
+                return Ok(());
+            }
+            _ => return Err(*i),
+        }
+    }
+}
+
+fn skip_string(b: &[u8], i: &mut usize) -> Result<(), usize> {
+    if b.get(*i) != Some(&b'"') {
+        return Err(*i);
+    }
+    *i += 1;
+    while let Some(&c) = b.get(*i) {
+        match c {
+            b'\\' => *i += 2,
+            b'"' => {
+                *i += 1;
+                return Ok(());
+            }
+            _ => *i += 1,
+        }
+    }
+    Err(*i)
+}
+
+fn skip_lit(b: &[u8], i: &mut usize, lit: &[u8]) -> Result<(), usize> {
+    if b[*i..].starts_with(lit) {
+        *i += lit.len();
+        Ok(())
+    } else {
+        Err(*i)
+    }
+}
