@@ -19,6 +19,9 @@ pub enum EngineError {
     Query(ParseError),
     /// The query could not be compiled into a machine.
     Build(BuildError),
+    /// A shard worker thread died mid-document (the session is poisoned:
+    /// subsequent documents on it fail fast with this error).
+    Worker(String),
 }
 
 impl fmt::Display for EngineError {
@@ -27,6 +30,7 @@ impl fmt::Display for EngineError {
             EngineError::Xml(e) => write!(f, "XML error: {e}"),
             EngineError::Query(e) => write!(f, "query error: {e}"),
             EngineError::Build(e) => write!(f, "machine build error: {e}"),
+            EngineError::Worker(msg) => write!(f, "worker error: {msg}"),
         }
     }
 }
@@ -37,6 +41,7 @@ impl std::error::Error for EngineError {
             EngineError::Xml(e) => Some(e),
             EngineError::Query(e) => Some(e),
             EngineError::Build(e) => Some(e),
+            EngineError::Worker(_) => None,
         }
     }
 }

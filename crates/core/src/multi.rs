@@ -372,6 +372,13 @@ impl MultiEngine {
         self.driver.set_telemetry(telemetry);
     }
 
+    /// The attached telemetry handle (disabled when none was set). The
+    /// overlapped front-end uses it to probe its parse workers and fold
+    /// stats without going through the driver.
+    pub(crate) fn telemetry(&self) -> crate::telemetry::Telemetry {
+        self.driver.telemetry()
+    }
+
     /// Splits the engine into the disjoint borrows the sharded execution
     /// layer ([`crate::shard`]) needs: plan groups go to worker threads,
     /// the driver and interner stay on the document thread, and the

@@ -1,0 +1,438 @@
+//! The overlapped front-end: parse, admission, publication and matching
+//! all running concurrently.
+//!
+//! The pipelined front-end ([`super::DocPump`]) overlaps matching with
+//! parsing, but parse, admission and ring publication still serialize on
+//! the document thread. Here that thread shrinks to the **admission
+//! walk** — the only inherently serial work: chunk admission, node
+//! numbering, symbol interning, broadcast-filter decisions and
+//! global-trie [`TriePush`] sequencing for prefix-shared plans — while
+//!
+//! * parse workers (the [`ParallelReader`] behind
+//!   [`ParallelReader::next_batch`]) decode speculative chunks
+//!   concurrently and deliver reconciled event batches, and
+//! * publisher threads turn admitted windows into shard events — the
+//!   `Arc` payload allocation lives here, off the serial path — and push
+//!   them into **every** shard ring, tagged with their sequence window.
+//!
+//! Publishers race, so batches reach a ring out of document order; each
+//! worker reorders locally by the [`SeqBatch`] windows, and the
+//! `(event seq, group id)` watermark merge then restores single-threaded
+//! emission order exactly as in the pipelined path. The output contract
+//! is byte-identical across all front-ends: same matches, same callback
+//! order, same statistics.
+//!
+//! Teardown discipline (this is what makes fault handling hang-free):
+//! the job channel is dropped and every publisher joined **before** the
+//! `DocEnd` batch is pushed — on the success *and* the error path — so
+//! by the time workers see `DocEnd` every published window is in their
+//! rings and they can always drain to the final watermark. A worker
+//! panic arrives as a poisoned report ([`super::ingest_report`] closes
+//! the rings, suppresses further callbacks and poisons the session); a
+//! parse error stops admission but still sends `DocEnd` at the last
+//! admitted sequence number, so the workers quiesce and the error
+//! surfaces cleanly.
+
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::{Arc, Mutex};
+use std::thread;
+
+use vitex_xmlsax::event::{CharactersEvent, EndElementEvent, StartElementEvent};
+use vitex_xmlsax::par::{ParStats, ParallelConfig, ParallelReader};
+use vitex_xmlsax::probe::ProbeHandle;
+use vitex_xmlsax::XmlEvent;
+
+use crate::error::EngineResult;
+use crate::intern::Symbol;
+use crate::multi::MultiOutput;
+use crate::plan::TriePush;
+use crate::result::{Match, NodeId, QueryId};
+use crate::stats::{MachineStats, PlanStats, StreamStats};
+use crate::telemetry::{Telemetry, TID_COORDINATOR};
+
+use super::merge::MatchMerger;
+use super::worker::{EventBatch, Ring, SeqBatch, ShardEvent};
+use super::{ingest_report, poison_error, recv_report, ThreadedSession};
+
+/// One admitted event awaiting publication: the owned parser event plus
+/// everything the admission walk decided about it (sequence number,
+/// resolved symbol, node ids, trie pushes). Publishers turn these into
+/// [`ShardEvent`]s — the string payloads become `Arc`-shared there, so
+/// the allocation cost is off the admission thread.
+enum ShardItem {
+    Start {
+        seq: u64,
+        sym: Option<Symbol>,
+        node_id: NodeId,
+        attr_id_base: NodeId,
+        pushes: Arc<[TriePush]>,
+        event: StartElementEvent,
+    },
+    Text {
+        seq: u64,
+        node_id: NodeId,
+        event: CharactersEvent,
+    },
+    End {
+        seq: u64,
+        sym: Option<Symbol>,
+        event: EndElementEvent,
+    },
+}
+
+impl ShardItem {
+    fn into_shard_event(self) -> ShardEvent {
+        match self {
+            ShardItem::Start { seq, sym, node_id, attr_id_base, pushes, event } => {
+                ShardEvent::Start {
+                    seq,
+                    sym,
+                    name: event.name.as_str().into(),
+                    level: event.level,
+                    attrs: event.attributes.as_slice().into(),
+                    node_id,
+                    attr_id_base,
+                    span: event.span,
+                    pushes,
+                }
+            }
+            ShardItem::Text { seq, node_id, event } => ShardEvent::Text {
+                seq,
+                text: event.text.as_str().into(),
+                level: event.level,
+                node_id,
+                span: event.span,
+            },
+            ShardItem::End { seq, sym, event } => ShardEvent::End {
+                seq,
+                sym,
+                name: event.name.as_str().into(),
+                level: event.level,
+                element_span: event.element_span,
+            },
+        }
+    }
+}
+
+/// One admitted sequence window bound for the rings. `items` holds only
+/// the shipped events; the window `(after, through]` also covers events
+/// the broadcast filter dropped (they consume sequence numbers without
+/// payloads, exactly like the pipelined path).
+struct PublishJob {
+    after: u64,
+    through: u64,
+    items: Vec<ShardItem>,
+}
+
+/// A publisher thread: pulls admitted windows off the shared job
+/// channel, materializes the shard events, and pushes the batch into
+/// every ring. Runs until the job channel is dropped — publishers always
+/// drain fully, so no published window can go missing (the workers'
+/// reorder stash would wait on it forever).
+fn publish_loop(
+    jobs: &Mutex<Receiver<PublishJob>>,
+    rings: &[Arc<Ring<SeqBatch>>],
+    telemetry: &Telemetry,
+) {
+    loop {
+        let t_idle = telemetry.timer();
+        let job = jobs.lock().expect("publisher job lock").recv();
+        telemetry.add_elapsed(|r| &r.producer_idle_ns, t_idle);
+        let Ok(job) = job else { return };
+        telemetry.add(|r| &r.producer_batches, 1);
+        telemetry.observe(|r| &r.batch_events, job.items.len() as u64);
+        let events: EventBatch =
+            job.items.into_iter().map(ShardItem::into_shard_event).collect::<Vec<_>>().into();
+        let batch = SeqBatch { after: job.after, through: job.through, events };
+        for ring in rings {
+            ring.push(batch.clone());
+        }
+    }
+}
+
+/// Streams one owned document through the overlapped front-end. See the
+/// module docs for the architecture; the output contract is that of
+/// [`super::ThreadedSession::run_document`], byte for byte.
+pub(super) fn run_document_overlapped<F: FnMut(QueryId, Match)>(
+    t: &mut ThreadedSession<'_>,
+    bytes: Vec<u8>,
+    config: ParallelConfig,
+    mut on_match: F,
+) -> EngineResult<(MultiOutput, ParStats)> {
+    if let Some(shard) = t.poisoned {
+        return Err(poison_error(shard));
+    }
+    let telemetry = t.driver.telemetry();
+    let probe = telemetry.is_enabled().then(|| Arc::new(telemetry.clone()) as ProbeHandle);
+    let producers = config.threads.max(1);
+    let mut reader = ParallelReader::with_config_probe(bytes, config, probe);
+    telemetry.gauge_set(|r| &r.producer_threads, producers as u64);
+
+    let rings = t.rings;
+    let interner = t.interner;
+    let filter = t.filter;
+    let mut matches: Vec<Vec<Match>> = t.record_groups.iter().map(|_| Vec::new()).collect();
+    let mut merger = MatchMerger::with_telemetry(t.nshards, telemetry.clone());
+    let mut group_stats: Vec<MachineStats> = vec![MachineStats::default(); t.group_slots];
+    let mut group_bytes = 0u64;
+    let mut done = 0usize;
+    let mut poisoned: Option<usize> = None;
+    if let Some(trie) = &mut t.trie {
+        trie.begin_document();
+    }
+
+    // Admission-walk state — the overlapped mirror of what
+    // `DocumentDriver::run` plus `DocPump` track per document.
+    let mut stats = StreamStats::default();
+    let mut next_id: NodeId = 0;
+    let mut seq = 0u64;
+    let mut after = 0u64;
+    let mut open_syms: Vec<Option<Symbol>> = Vec::new();
+    let mut pushed: Vec<TriePush> = Vec::new();
+    let mut trie_open: Vec<u32> = Vec::new();
+    let mut trie_frames: Vec<u32> = Vec::new();
+    let empty_pushes: Arc<[TriePush]> = Vec::new().into();
+
+    let t_doc = telemetry.timer();
+    // Seed DocStart into every ring before any publisher can run: ring
+    // FIFO then guarantees each worker resets its document state before
+    // it sees any of this document's windows, whatever order the racing
+    // publishers deliver them in.
+    let doc_start_events: EventBatch = vec![ShardEvent::DocStart].into();
+    let doc_start = SeqBatch { after: 0, through: 0, events: doc_start_events };
+    for ring in rings {
+        ring.push(doc_start.clone());
+    }
+
+    let (job_tx, job_rx): (SyncSender<PublishJob>, Receiver<PublishJob>) =
+        sync_channel(producers * 2);
+    let job_rx = Mutex::new(job_rx);
+    let result: EngineResult<()> = thread::scope(|scope| {
+        let job_rx = &job_rx;
+        let mut handles = Vec::with_capacity(producers);
+        for _ in 0..producers {
+            let telemetry = telemetry.clone();
+            handles.push(scope.spawn(move || publish_loop(job_rx, rings, &telemetry)));
+        }
+
+        let mut trie = t.trie.as_deref_mut();
+        let result = loop {
+            let batch = match reader.next_batch() {
+                Ok(Some(events)) => events,
+                Ok(None) => {
+                    // The driver counts EndDocument like every other
+                    // event; `next_batch` swallows it.
+                    stats.events += 1;
+                    break Ok(());
+                }
+                Err(e) => break Err(e.into()),
+            };
+            let mut items = Vec::with_capacity(batch.len());
+            for event in batch {
+                stats.events += 1;
+                match event {
+                    XmlEvent::StartElement(e) => {
+                        stats.elements += 1;
+                        let node_id = next_id;
+                        next_id += 1 + e.attributes.len() as u64;
+                        let sym = interner.lookup(e.name.as_str());
+                        open_syms.push(sym);
+                        let t_ev = telemetry.timer();
+                        seq += 1;
+                        if let Some(tr) = trie.as_deref_mut() {
+                            pushed.clear();
+                            tr.advance(sym, e.level, &mut pushed);
+                        }
+                        if filter.is_some_and(|index| !index.has_element_target(sym)) {
+                            debug_assert!(
+                                pushed.is_empty(),
+                                "filtered events cannot advance the trie"
+                            );
+                        } else {
+                            let pushes: Arc<[TriePush]> = if trie.is_some() {
+                                trie_frames.push(trie_open.len() as u32);
+                                trie_open.extend(pushed.iter().map(|p| p.node));
+                                if pushed.is_empty() {
+                                    Arc::clone(&empty_pushes)
+                                } else {
+                                    pushed.as_slice().into()
+                                }
+                            } else {
+                                Arc::clone(&empty_pushes)
+                            };
+                            items.push(ShardItem::Start {
+                                seq,
+                                sym,
+                                node_id,
+                                attr_id_base: node_id + 1,
+                                pushes,
+                                event: e,
+                            });
+                        }
+                        telemetry.observe_elapsed(|r| &r.dispatch_ns, t_ev);
+                    }
+                    XmlEvent::Characters(c) => {
+                        stats.text_nodes += 1;
+                        let node_id = next_id;
+                        next_id += 1;
+                        let t_ev = telemetry.timer();
+                        seq += 1;
+                        if filter.is_none_or(|index| index.has_text_target()) {
+                            items.push(ShardItem::Text { seq, node_id, event: c });
+                        }
+                        telemetry.observe_elapsed(|r| &r.dispatch_ns, t_ev);
+                    }
+                    XmlEvent::EndElement(e) => {
+                        let sym = open_syms.pop().flatten();
+                        let t_ev = telemetry.timer();
+                        seq += 1;
+                        if filter.is_some_and(|index| !index.has_element_target(sym)) {
+                            // Skipped: pairs with the skipped start tag
+                            // (same symbol, same frozen index).
+                        } else {
+                            if let Some(tr) = trie.as_deref_mut() {
+                                let base = trie_frames.pop().expect("shipped tags pair") as usize;
+                                for &node in &trie_open[base..] {
+                                    tr.retreat_one(node, e.level);
+                                }
+                                trie_open.truncate(base);
+                            }
+                            items.push(ShardItem::End { seq, sym, event: e });
+                        }
+                        telemetry.observe_elapsed(|r| &r.dispatch_ns, t_ev);
+                    }
+                    XmlEvent::EndDocument => {
+                        unreachable!("next_batch never delivers EndDocument")
+                    }
+                    XmlEvent::StartDocument { .. }
+                    | XmlEvent::Comment(_)
+                    | XmlEvent::ProcessingInstruction(_)
+                    | XmlEvent::DoctypeDeclaration { .. } => {}
+                }
+            }
+            // Publish the admitted window (blocking on the bounded job
+            // channel is the backpressure path), then fold in whatever
+            // worker reports have already arrived so merged matches
+            // stream to the caller while the document is still parsing.
+            if seq > after || !items.is_empty() {
+                if job_tx.send(PublishJob { after, through: seq, items }).is_err() {
+                    // Every publisher is gone (panicked); the join below
+                    // poisons the session.
+                    break Ok(());
+                }
+                after = seq;
+            }
+            while let Ok(report) = t.rx.try_recv() {
+                ingest_report(
+                    report,
+                    rings,
+                    &mut poisoned,
+                    &mut merger,
+                    &t.subscribers,
+                    &mut matches,
+                    &mut on_match,
+                    &mut group_stats,
+                    &mut group_bytes,
+                    &mut done,
+                );
+            }
+            if poisoned.is_some() {
+                break Ok(());
+            }
+        };
+        // Publishers drain the job channel fully before exiting, so once
+        // they are joined every admitted window is in the rings — only
+        // then may DocEnd be pushed (the caller does, right after this
+        // scope). A panicked publisher breaks that guarantee: windows go
+        // missing and the workers could never drain, so poison instead.
+        drop(job_tx);
+        for handle in handles {
+            if handle.join().is_err() {
+                for ring in rings {
+                    ring.close();
+                }
+                poisoned.get_or_insert(usize::MAX);
+            }
+        }
+        result
+    });
+
+    // Close the document on the worker side even after a parse error —
+    // the workers quiesce at the last admitted event and the session
+    // stays usable (mirrors the pipelined finish-on-error path).
+    let doc_end_events: EventBatch = vec![ShardEvent::DocEnd { seq }].into();
+    let doc_end = SeqBatch { after, through: seq, events: doc_end_events };
+    for ring in rings {
+        ring.push(doc_end.clone());
+    }
+    while done < t.nshards && poisoned.is_none() {
+        match recv_report(t.rx) {
+            Some(report) => ingest_report(
+                report,
+                rings,
+                &mut poisoned,
+                &mut merger,
+                &t.subscribers,
+                &mut matches,
+                &mut on_match,
+                &mut group_stats,
+                &mut group_bytes,
+                &mut done,
+            ),
+            None => {
+                for ring in rings {
+                    ring.close();
+                }
+                poisoned = Some(usize::MAX);
+            }
+        }
+    }
+    t.poisoned = poisoned;
+    if let Some(shard) = poisoned {
+        return Err(poison_error(shard));
+    }
+    result?;
+    debug_assert!(merger.is_drained(), "all shards reported through the final event");
+
+    telemetry.add_elapsed(|r| &r.doc_ns, t_doc);
+    telemetry.record_span("document", "stream", TID_COORDINATOR, t_doc);
+    telemetry.fold_stream(&stats);
+
+    // Output assembly: identical to `ThreadedSession::run_document`.
+    let out_stats: Vec<MachineStats> = t
+        .record_groups
+        .iter()
+        .map(|g| match g {
+            Some(gid) => group_stats[*gid].clone(),
+            None => MachineStats::default(),
+        })
+        .collect();
+    let mut plan = PlanStats { plan_bytes: t.plan_overhead + group_bytes, ..t.plan };
+    if let Some(trie) = &t.trie {
+        let run = trie.run_stats();
+        plan.prefix_steps_executed = run.steps_executed;
+        plan.prefix_steps_saved = run.steps_saved;
+        plan.prefix_forks = run.forks;
+        plan.prefix_stack_bytes = run.peak_stack_bytes();
+    }
+    if telemetry.is_enabled() {
+        for s in &out_stats {
+            telemetry.fold_machine(s);
+        }
+        telemetry.fold_plan(&plan);
+        telemetry.add_matches(matches.iter().map(|m| m.len() as u64).sum());
+    }
+    let par_stats = reader.stats();
+    telemetry.fold_par(&par_stats);
+    Ok((
+        MultiOutput {
+            matches,
+            stats: out_stats,
+            plan,
+            elements: stats.elements,
+            text_nodes: stats.text_nodes,
+            events: stats.events,
+        },
+        par_stats,
+    ))
+}

@@ -35,6 +35,7 @@
 //! watermark has passed its event. The differential battery asserts
 //! equality at several shard counts.
 
+pub(crate) mod feed;
 pub(crate) mod merge;
 pub(crate) mod worker;
 
@@ -44,11 +45,13 @@ use std::sync::Arc;
 use std::thread;
 
 use vitex_xmlsax::event::{CharactersEvent, EndElementEvent, StartElementEvent};
+use vitex_xmlsax::par::{ParStats, ParallelConfig, ParallelReader};
+use vitex_xmlsax::probe::ProbeHandle;
 use vitex_xmlsax::EventSource;
 use vitex_xpath::query_tree::QueryTree;
 
 use crate::driver::EventSink;
-use crate::error::EngineResult;
+use crate::error::{EngineError, EngineResult};
 use crate::intern::{Interner, Symbol};
 use crate::multi::{DispatchMode, MultiEngine, MultiOutput};
 use crate::plan::{PlanGroup, PlanMode, StepTrie, TriePush};
@@ -56,7 +59,7 @@ use crate::result::{Match, NodeId, QueryId};
 use crate::stats::{MachineStats, PlanStats, StreamStats};
 
 use merge::{MatchMerger, TaggedMatch};
-use worker::{run_worker, EventBatch, PrefixMap, Ring, ShardEvent, WorkerReport};
+use worker::{run_worker, EventBatch, PrefixMap, Ring, SeqBatch, ShardEvent, WorkerReport};
 
 /// Events per broadcast batch: large enough to amortize ring locking and
 /// `Arc<[_]>` allocation, small enough to keep delivery incremental.
@@ -85,6 +88,9 @@ pub(crate) fn assign_shards(active_gids: &[usize], nshards: usize) -> Vec<Vec<us
 pub struct ShardedEngine {
     multi: MultiEngine,
     shards: usize,
+    /// Test-only fault injection: `(shard, seq)` — that shard's worker
+    /// panics when it applies the event with that sequence number.
+    fault: Option<(usize, u64)>,
 }
 
 impl ShardedEngine {
@@ -97,7 +103,26 @@ impl ShardedEngine {
     /// An empty engine with explicit dispatch and plan modes; both apply
     /// within every shard exactly as they do single-threaded.
     pub fn with_options(shards: usize, dispatch: DispatchMode, plan: PlanMode) -> Self {
-        ShardedEngine { multi: MultiEngine::with_options(dispatch, plan), shards: shards.max(1) }
+        ShardedEngine {
+            multi: MultiEngine::with_options(dispatch, plan),
+            shards: shards.max(1),
+            fault: None,
+        }
+    }
+
+    /// Test-only fault injection: make shard `shard`'s worker panic when
+    /// it applies the event with sequence number `seq` (in any later run
+    /// or session, until [`Self::clear_worker_fault`]). Exercises the
+    /// poison path from integration tests.
+    #[doc(hidden)]
+    pub fn inject_worker_fault(&mut self, shard: usize, seq: u64) {
+        self.fault = Some((shard, seq));
+    }
+
+    /// Clears a fault installed by [`Self::inject_worker_fault`].
+    #[doc(hidden)]
+    pub fn clear_worker_fault(&mut self) {
+        self.fault = None;
     }
 
     /// The configured worker count.
@@ -166,6 +191,25 @@ impl ShardedEngine {
         self.session(|session| session.run_document(reader, on_match))
     }
 
+    /// Streams one buffered document through the **overlapped** front-end:
+    /// speculative parse workers ([`ParallelReader`]) feed the
+    /// coordinator's admission walk, which hands verified event windows to
+    /// a pool of producer threads that publish them into the shard rings
+    /// while the parse is still running — parse and match overlap instead
+    /// of pipelining through a single producer. Output (matches, callback
+    /// order, statistics) is byte-identical to [`ShardedEngine::run`] over
+    /// the same bytes; the returned [`ParStats`] describe the speculative
+    /// parse. With one shard — or when the parse falls back to sequential
+    /// — this degrades gracefully to the pipelined path.
+    pub fn run_overlapped<F: FnMut(QueryId, Match)>(
+        &mut self,
+        bytes: Vec<u8>,
+        config: ParallelConfig,
+        on_match: F,
+    ) -> EngineResult<(MultiOutput, ParStats)> {
+        self.session(|session| session.run_document_overlapped(bytes, config, on_match))
+    }
+
     /// Opens a streaming session: spawns the worker threads, partitions
     /// the active plan groups across them, hands `f` a [`ShardSession`]
     /// to stream documents through, and tears the workers down when `f`
@@ -182,6 +226,7 @@ impl ShardedEngine {
             // engine.
             return f(&mut ShardSession { inner: SessionInner::Inline(&mut self.multi) });
         }
+        let injected_fault = self.fault;
         let parts = self.multi.shard_parts();
         let plan = parts.planner.stats(parts.interner);
         // Group-resident bytes are re-read from the workers after each
@@ -264,7 +309,7 @@ impl ShardedEngine {
         // mode pokes every machine, so everything ships.
         let filter = use_index.then_some(parts.index);
         let telemetry = parts.driver.telemetry();
-        let rings: Vec<Arc<Ring<EventBatch>>> = (0..nshards)
+        let rings: Vec<Arc<Ring<SeqBatch>>> = (0..nshards)
             .map(|_| Arc::new(Ring::with_telemetry(RING_BATCHES, telemetry.clone())))
             .collect();
         let (tx, rx): (Sender<WorkerReport>, Receiver<WorkerReport>) = channel();
@@ -274,8 +319,10 @@ impl ShardedEngine {
                 let ring = Arc::clone(&rings[shard]);
                 let tx = tx.clone();
                 let prefix = prefix_maps.next();
+                let fault =
+                    injected_fault.and_then(|(s, seq)| if s == shard { Some(seq) } else { None });
                 scope.spawn(move || {
-                    run_worker(shard, groups, use_index, nsymbols, prefix, ring, tx)
+                    run_worker(shard, groups, use_index, nsymbols, prefix, fault, ring, tx)
                 });
             }
             drop(tx);
@@ -297,6 +344,7 @@ impl ShardedEngine {
                     nshards,
                     plan,
                     plan_overhead,
+                    poisoned: None,
                 })),
             };
             f(&mut session)
@@ -304,9 +352,20 @@ impl ShardedEngine {
     }
 }
 
+/// The clean error a poisoned session surfaces — and keeps surfacing on
+/// every subsequent document (the dead worker cannot be respawned
+/// mid-session; open a new session to recover).
+fn poison_error(shard: usize) -> EngineError {
+    EngineError::Worker(if shard == usize::MAX {
+        "shard workers terminated unexpectedly; session poisoned".to_string()
+    } else {
+        format!("shard worker {shard} panicked mid-document; session poisoned")
+    })
+}
+
 /// Closes every ring on drop — the session's worker-release guard, run on
 /// both the normal and the unwinding exit path.
-struct CloseRings<'a>(&'a [Arc<Ring<EventBatch>>]);
+struct CloseRings<'a>(&'a [Arc<Ring<SeqBatch>>]);
 
 impl Drop for CloseRings<'_> {
     fn drop(&mut self) {
@@ -358,6 +417,36 @@ impl ShardSession<'_> {
             SessionInner::Threaded(t) => t.run_document(reader, on_match),
         }
     }
+
+    /// Streams one owned document through the overlapped front-end:
+    /// parse workers deliver chunk event batches which the coordinator
+    /// admits (numbering, interning, trie sequencing) and hands to
+    /// publisher threads that feed the shard rings directly — parsing,
+    /// admission, publication, and matching all overlap. Output is
+    /// byte-identical to [`ShardSession::run_document`] over the same
+    /// bytes; the parallel-parse statistics ride along.
+    pub fn run_document_overlapped<F: FnMut(QueryId, Match)>(
+        &mut self,
+        bytes: Vec<u8>,
+        config: ParallelConfig,
+        on_match: F,
+    ) -> EngineResult<(MultiOutput, ParStats)> {
+        match &mut self.inner {
+            SessionInner::Inline(multi) => {
+                // One shard: nothing to overlap with — run the parallel
+                // reader straight into the single-threaded engine.
+                let telemetry = multi.telemetry();
+                let probe =
+                    telemetry.is_enabled().then(|| Arc::new(telemetry.clone()) as ProbeHandle);
+                let mut reader = ParallelReader::with_config_probe(bytes, config, probe);
+                let out = multi.run(&mut reader, on_match)?;
+                let stats = reader.stats();
+                telemetry.fold_par(&stats);
+                Ok((out, stats))
+            }
+            SessionInner::Threaded(t) => feed::run_document_overlapped(t, bytes, config, on_match),
+        }
+    }
 }
 
 /// Session state for the `shards > 1` path.
@@ -371,7 +460,7 @@ struct ThreadedSession<'a> {
     /// per event on the document thread (push decisions ship with the
     /// events; the run counters feed the plan statistics).
     trie: Option<&'a mut StepTrie>,
-    rings: &'a [Arc<Ring<EventBatch>>],
+    rings: &'a [Arc<Ring<SeqBatch>>],
     rx: &'a Receiver<WorkerReport>,
     /// Subscriber snapshot per group slot (frozen for the session).
     subscribers: Vec<Vec<QueryId>>,
@@ -384,6 +473,10 @@ struct ThreadedSession<'a> {
     plan: PlanStats,
     /// The non-group share of `plan.plan_bytes` (trie, interner).
     plan_overhead: u64,
+    /// `Some(shard)` once a worker died mid-document: the session is
+    /// poisoned and every subsequent document fails fast (`usize::MAX`
+    /// when the failing shard is unknown — the report channel died).
+    poisoned: Option<usize>,
 }
 
 impl ThreadedSession<'_> {
@@ -392,6 +485,9 @@ impl ThreadedSession<'_> {
         reader: E,
         mut on_match: F,
     ) -> EngineResult<MultiOutput> {
+        if let Some(shard) = self.poisoned {
+            return Err(poison_error(shard));
+        }
         let telemetry = self.driver.telemetry();
         let mut matches: Vec<Vec<Match>> = self.record_groups.iter().map(|_| Vec::new()).collect();
         let mut merger = MatchMerger::with_telemetry(self.nshards, telemetry.clone());
@@ -416,7 +512,9 @@ impl ThreadedSession<'_> {
                 group_stats: &mut group_stats,
                 group_bytes: &mut group_bytes,
                 done: &mut done,
+                poisoned: &mut self.poisoned,
                 seq: 0,
+                after: 0,
                 open_names: Vec::new(),
                 pushed: Vec::new(),
                 trie_open: Vec::new(),
@@ -435,13 +533,29 @@ impl ThreadedSession<'_> {
             }
             // Block until every shard has acknowledged DocEnd, delivering
             // merged matches as they become safe.
-            while *pump.done < self.nshards {
-                let report = recv_report(self.rx, self.rings);
-                pump.ingest(report);
+            while *pump.done < self.nshards && pump.poisoned.is_none() {
+                match recv_report(self.rx) {
+                    Some(report) => pump.ingest(report),
+                    None => {
+                        // Every worker hung up without a final report: a
+                        // panic escaped containment. Close the rings and
+                        // poison the session with an unknown shard.
+                        for ring in self.rings {
+                            ring.close();
+                        }
+                        *pump.poisoned = Some(usize::MAX);
+                    }
+                }
             }
-            debug_assert!(pump.merger.is_drained(), "all shards reported through the final event");
+            debug_assert!(
+                pump.poisoned.is_some() || pump.merger.is_drained(),
+                "all shards reported through the final event"
+            );
             stream
         };
+        if let Some(shard) = self.poisoned {
+            return Err(poison_error(shard));
+        }
         let stream: StreamStats = stream?;
         let stats: Vec<MachineStats> = self
             .record_groups
@@ -483,19 +597,52 @@ impl ThreadedSession<'_> {
     }
 }
 
-/// Receives one worker report; if the channel is dead (a worker
-/// panicked), closes the rings so every surviving worker can exit before
-/// the scope re-raises the panic at join.
-fn recv_report(rx: &Receiver<WorkerReport>, rings: &[Arc<Ring<EventBatch>>]) -> WorkerReport {
-    match rx.recv() {
-        Ok(report) => report,
-        Err(_) => {
-            for ring in rings {
-                ring.close();
-            }
-            panic!("shard worker terminated unexpectedly");
+/// Receives one worker report; `None` means every worker hung up without
+/// a final poisoned report — the caller treats that as an unknown-shard
+/// poisoning of the session.
+fn recv_report(rx: &Receiver<WorkerReport>) -> Option<WorkerReport> {
+    rx.recv().ok()
+}
+
+/// Folds one worker report into the coordinator-side document state.
+/// Shared between the pipelined pump ([`DocPump::ingest`]) and the
+/// overlapped admission walk ([`feed`]), so poisoning semantics cannot
+/// diverge: a poisoned report closes every ring, records the failing
+/// shard, and suppresses all further callbacks (no matches after an
+/// error); late reports from surviving workers draining their rings are
+/// dropped for the same reason.
+#[allow(clippy::too_many_arguments)]
+pub(super) fn ingest_report<F: FnMut(QueryId, Match)>(
+    report: WorkerReport,
+    rings: &[Arc<Ring<SeqBatch>>],
+    poisoned: &mut Option<usize>,
+    merger: &mut MatchMerger,
+    subscribers: &[Vec<QueryId>],
+    matches: &mut [Vec<Match>],
+    on_match: &mut F,
+    group_stats: &mut [MachineStats],
+    group_bytes: &mut u64,
+    done: &mut usize,
+) {
+    if report.poisoned {
+        for ring in rings {
+            ring.close();
         }
+        poisoned.get_or_insert(report.shard);
+        return;
     }
+    if poisoned.is_some() {
+        return;
+    }
+    if let Some(doc_stats) = report.doc_stats {
+        for snapshot in doc_stats {
+            group_stats[snapshot.gid] = snapshot.stats;
+            *group_bytes += snapshot.approx_bytes;
+        }
+        *done += 1;
+    }
+    merger.push(report.shard, report.matches, report.through_seq);
+    merger.drain(|t| fan_out(subscribers, matches, on_match, t));
 }
 
 /// Fans one merged match out to its group's subscribers via the same
@@ -523,7 +670,7 @@ struct DocPump<'a, F: FnMut(QueryId, Match)> {
     /// per element event; the resulting pushes ship inside
     /// [`ShardEvent::Start`].
     trie: Option<&'a mut StepTrie>,
-    rings: &'a [Arc<Ring<EventBatch>>],
+    rings: &'a [Arc<Ring<SeqBatch>>],
     rx: &'a Receiver<WorkerReport>,
     merger: &'a mut MatchMerger,
     subscribers: &'a [Vec<QueryId>],
@@ -536,8 +683,15 @@ struct DocPump<'a, F: FnMut(QueryId, Match)> {
     group_bytes: &'a mut u64,
     /// Shards that have acknowledged DocEnd so far.
     done: &'a mut usize,
+    /// Set when a worker dies mid-document (see [`ingest_report`]).
+    poisoned: &'a mut Option<usize>,
     /// Sequence number of the last event pushed (1-based).
     seq: u64,
+    /// Highest sequence number covered by already-flushed batches: the
+    /// `after` of the next [`SeqBatch`]. Trails `seq` by exactly the
+    /// unflushed events (filtered events consume sequence numbers without
+    /// shipping payloads, so a batch's range can exceed its length).
+    after: u64,
     /// `Arc` names of open *shipped* elements, innermost last: the end
     /// tag reuses the start tag's allocation. Skips pair up (same symbol
     /// against the same frozen filter), so pushes and pops balance.
@@ -560,26 +714,18 @@ impl<F: FnMut(QueryId, Match)> DocPump<'_, F> {
     /// fanning out whatever became safe), DocEnd acknowledgements into
     /// the statistics snapshot.
     fn ingest(&mut self, report: WorkerReport) {
-        if report.poisoned {
-            // A worker is unwinding. Release every other worker so the
-            // scope can join them all, then unwind ourselves — the scope
-            // re-raises the worker's original panic payload.
-            for ring in self.rings {
-                ring.close();
-            }
-            panic!("shard worker {} panicked mid-session", report.shard);
-        }
-        if let Some(doc_stats) = report.doc_stats {
-            for snapshot in doc_stats {
-                self.group_stats[snapshot.gid] = snapshot.stats;
-                *self.group_bytes += snapshot.approx_bytes;
-            }
-            *self.done += 1;
-        }
-        self.merger.push(report.shard, report.matches, report.through_seq);
-        let (merger, subscribers, matches, on_match) =
-            (&mut *self.merger, self.subscribers, &mut *self.matches, &mut *self.on_match);
-        merger.drain(|t| fan_out(subscribers, matches, on_match, t));
+        ingest_report(
+            report,
+            self.rings,
+            self.poisoned,
+            self.merger,
+            self.subscribers,
+            self.matches,
+            self.on_match,
+            self.group_stats,
+            self.group_bytes,
+            self.done,
+        );
     }
 
     /// Broadcasts the pending batch (built once, `Arc`-shared per ring)
@@ -589,7 +735,9 @@ impl<F: FnMut(QueryId, Match)> DocPump<'_, F> {
             return;
         }
         self.telemetry.observe(|r| &r.batch_events, self.batch.len() as u64);
-        let batch: EventBatch = std::mem::take(&mut self.batch).into();
+        let events: EventBatch = std::mem::take(&mut self.batch).into();
+        let batch = SeqBatch { after: self.after, through: self.seq, events };
+        self.after = self.seq;
         for ring in self.rings {
             ring.push(batch.clone());
         }

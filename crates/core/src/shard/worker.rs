@@ -7,8 +7,15 @@
 //! filtering behaves exactly like the single-threaded engine restricted
 //! to those groups — and reports emitted matches tagged with their global
 //! ordering key, plus a watermark, back to the document thread.
+//!
+//! Batches carry an explicit sequence window ([`SeqBatch`]): with the
+//! overlapped front-end several producer threads push into the same ring,
+//! so batches can arrive out of document order. The worker restores order
+//! locally — a batch whose `after` does not meet the applied frontier is
+//! stashed until the gap fills — because the twig machines are streaming
+//! stack automata and must see events in document order.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::sync::mpsc::Sender;
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
@@ -67,6 +74,21 @@ pub(crate) enum ShardEvent {
 
 /// A broadcast batch: built once, shared by every shard's ring.
 pub(crate) type EventBatch = Arc<[ShardEvent]>;
+
+/// A ring item: one broadcast batch plus the contiguous sequence window it
+/// covers. `after` is the highest sequence number already covered by
+/// earlier batches of the same document (the precondition for applying
+/// this one); `through` is the highest this batch covers — which can
+/// exceed the last *shipped* event's own seq, because filtered events
+/// consume sequence numbers without shipping a payload. The pipelined
+/// front-end produces these in order (`after` always equals the worker's
+/// frontier); overlapped producers may deliver them out of order.
+#[derive(Debug, Clone)]
+pub(crate) struct SeqBatch {
+    pub(crate) after: u64,
+    pub(crate) through: u64,
+    pub(crate) events: EventBatch,
+}
 
 /// A bounded SPSC ring buffer carrying event batches from the document
 /// thread to one worker.
@@ -198,26 +220,68 @@ pub(crate) struct GroupSnapshot {
     pub(crate) approx_bytes: u64,
 }
 
-/// The worker loop: runs on its own thread for the lifetime of a session,
-/// processing batches until the ring closes. `groups` is this shard's
-/// subset in ascending group-id order; `nsymbols` sizes the local
+/// The worker entry point: runs on its own thread for the lifetime of a
+/// session, processing batches until the ring closes. `groups` is this
+/// shard's subset in ascending group-id order; `nsymbols` sizes the local
 /// dispatch index (the interner is frozen for the session). Telemetry
 /// (batch timing, busy time, per-batch spans) records through the handle
-/// the ring was built with.
+/// the ring was built with. `fault` is the test-only injection hook: the
+/// worker panics when it applies the event with that sequence number.
+///
+/// A panicking worker must not take the session down with it: the
+/// [`PoisonGuard`] closes the ring and sends a poisoned report during the
+/// unwind (`std::thread::panicking()` is true even for a caught panic),
+/// and catching the unwind here lets the thread return normally so the
+/// session's scope join succeeds instead of re-raising. The document
+/// thread turns the poisoned report into a clean [`EngineError::Worker`].
+///
+/// [`EngineError::Worker`]: crate::error::EngineError::Worker
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn run_worker(
+    shard: usize,
+    groups: Vec<(usize, &mut PlanGroup)>,
+    use_index: bool,
+    nsymbols: usize,
+    prefix: Option<PrefixMap>,
+    fault: Option<u64>,
+    ring: Arc<Ring<SeqBatch>>,
+    out: Sender<WorkerReport>,
+) {
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        worker_loop(shard, groups, use_index, nsymbols, prefix, fault, &ring, &out);
+    }));
+    // The guard inside worker_loop already reported the poisoning.
+    let _ = result;
+}
+
+/// Sequence number of a shard event (`None` for the un-sequenced
+/// document-start marker).
+fn event_seq(ev: &ShardEvent) -> Option<u64> {
+    match ev {
+        ShardEvent::DocStart => None,
+        ShardEvent::Start { seq, .. }
+        | ShardEvent::Text { seq, .. }
+        | ShardEvent::End { seq, .. }
+        | ShardEvent::DocEnd { seq } => Some(*seq),
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn worker_loop(
     shard: usize,
     mut groups: Vec<(usize, &mut PlanGroup)>,
     use_index: bool,
     nsymbols: usize,
     prefix: Option<PrefixMap>,
-    ring: Arc<Ring<EventBatch>>,
-    out: Sender<WorkerReport>,
+    fault: Option<u64>,
+    ring: &Arc<Ring<SeqBatch>>,
+    out: &Sender<WorkerReport>,
 ) {
-    // If this worker panics (a machine bug), the session must not hang:
-    // close our ring so a document thread blocked in `Ring::push` on it
-    // wakes up, and report the poisoning so it stops waiting for our
-    // DocEnd acknowledgement and re-raises at the scope join.
-    let _poison_on_panic = PoisonGuard { shard, ring: &ring, out: &out };
+    // If this worker panics (a machine bug, or the injected fault), the
+    // session must not hang: close our ring so a producer blocked in
+    // `Ring::push` on it wakes up, and report the poisoning so the
+    // document thread stops waiting for our DocEnd acknowledgement.
+    let _poison_on_panic = PoisonGuard { shard, ring, out };
     let telemetry = ring.telemetry.clone();
 
     // Local dispatch structures over this shard's subset, keyed by global
@@ -248,98 +312,57 @@ pub(crate) fn run_worker(
     let mut frames: Vec<u32> = Vec::new();
 
     let mut matches: Vec<TaggedMatch> = Vec::new();
-    let mut through_seq = 0u64;
+    // Contiguously applied sequence frontier for the current document, and
+    // the reorder stash for out-of-order producer deliveries, keyed by the
+    // frontier value each held batch is waiting for.
+    let mut frontier = 0u64;
+    let mut stash: BTreeMap<u64, SeqBatch> = BTreeMap::new();
     let shard_tid = TID_SHARD_BASE + shard as u32;
-    while let Some(batch) = ring.pop() {
+    while let Some(popped) = ring.pop() {
         let t_batch = telemetry.timer();
+        let before = frontier;
         let mut doc_stats = None;
-        for event in batch.iter() {
-            // Routes this event to the machine of local group `li`. Both
-            // dispatch paths visit groups in ascending global gid order,
-            // mirroring the single-threaded engine.
-            let mut touch = |li: u32, seq: u64, gid: u32| {
-                let machine = groups[li as usize].1.machine_mut();
-                let sink = &mut |m| matches.push(TaggedMatch { seq, gid, m });
-                match event {
-                    ShardEvent::Start {
-                        sym,
-                        name,
-                        level,
-                        attrs,
-                        node_id,
-                        attr_id_base,
-                        span,
-                        ..
-                    } => {
-                        machine.start_element_interned(
-                            *sym,
+        let mut next = Some(popped);
+        while let Some(batch) = next.take() {
+            if matches!(batch.events.first(), Some(ShardEvent::DocStart)) {
+                // A new document begins. The coordinator seeds DocStart
+                // into each ring before any producer publishes, so FIFO
+                // order guarantees nothing of the new document precedes
+                // it; everything of the previous document was applied
+                // (its DocEnd was acknowledged before the session moved
+                // on), so the stash is necessarily empty.
+                debug_assert!(stash.is_empty(), "prior document fully applied");
+                stash.clear();
+            } else if batch.after != frontier {
+                // Gap: an overlapped producer ran ahead. Hold the batch
+                // until the batches covering (frontier, after] arrive.
+                stash.insert(batch.after, batch);
+                break;
+            }
+            for event in batch.events.iter() {
+                if let Some(f) = fault {
+                    if event_seq(event) == Some(f) {
+                        panic!("injected shard-worker fault at seq {f}");
+                    }
+                }
+                // Routes this event to the machine of local group `li`. Both
+                // dispatch paths visit groups in ascending global gid order,
+                // mirroring the single-threaded engine.
+                let mut touch = |li: u32, seq: u64, gid: u32| {
+                    let machine = groups[li as usize].1.machine_mut();
+                    let sink = &mut |m| matches.push(TaggedMatch { seq, gid, m });
+                    match event {
+                        ShardEvent::Start {
+                            sym,
                             name,
-                            *level,
+                            level,
                             attrs,
-                            *node_id,
-                            *attr_id_base,
-                            *span,
-                            sink,
-                        );
-                    }
-                    ShardEvent::Text { text, level, node_id, span, .. } => {
-                        machine.characters(text, *level, *node_id, *span, sink);
-                    }
-                    ShardEvent::End { name, level, element_span, .. } => {
-                        machine.end_element(name, *level, *element_span, sink);
-                    }
-                    ShardEvent::DocStart | ShardEvent::DocEnd { .. } => unreachable!(),
-                }
-            };
-            match event {
-                ShardEvent::DocStart => {
-                    for (_, group) in groups.iter_mut() {
-                        group.machine_mut().reset();
-                    }
-                    frame_lis.clear();
-                    frames.clear();
-                    through_seq = 0;
-                }
-                ShardEvent::Start {
-                    seq,
-                    sym,
-                    name,
-                    level,
-                    attrs,
-                    node_id,
-                    attr_id_base,
-                    span,
-                    pushes,
-                } if prefix.is_some() => {
-                    through_seq = *seq;
-                    let map = prefix.as_ref().expect("guarded by arm");
-                    plans.clear();
-                    for p in pushes.iter() {
-                        if let Some(targets) = map.get(&p.node) {
-                            for &(li, mnode) in targets {
-                                plans.push((li, mnode, p.ptr));
-                            }
-                        }
-                    }
-                    plans.sort_unstable();
-                    pred_lis.clear();
-                    if use_index {
-                        index.for_each_element_target(*sym, |gid| pred_lis.push(local_of[gid]));
-                    } else {
-                        pred_lis.extend(0..groups.len() as u32);
-                    }
-                    frames.push(frame_lis.len() as u32);
-                    crate::multi::merge_prefix_targets(
-                        &plans,
-                        &pred_lis,
-                        &mut main_scratch,
-                        &mut frame_lis,
-                        |li, main, preds| {
-                            let (gid, group) = &mut groups[li as usize];
-                            let gid = *gid as u32;
-                            group.machine_mut().start_element_prefix(
-                                main,
-                                preds,
+                            node_id,
+                            attr_id_base,
+                            span,
+                            ..
+                        } => {
+                            machine.start_element_interned(
                                 *sym,
                                 name,
                                 *level,
@@ -347,71 +370,146 @@ pub(crate) fn run_worker(
                                 *node_id,
                                 *attr_id_base,
                                 *span,
+                                sink,
+                            );
+                        }
+                        ShardEvent::Text { text, level, node_id, span, .. } => {
+                            machine.characters(text, *level, *node_id, *span, sink);
+                        }
+                        ShardEvent::End { name, level, element_span, .. } => {
+                            machine.end_element(name, *level, *element_span, sink);
+                        }
+                        ShardEvent::DocStart | ShardEvent::DocEnd { .. } => unreachable!(),
+                    }
+                };
+                match event {
+                    ShardEvent::DocStart => {
+                        for (_, group) in groups.iter_mut() {
+                            group.machine_mut().reset();
+                        }
+                        frame_lis.clear();
+                        frames.clear();
+                    }
+                    ShardEvent::Start {
+                        seq,
+                        sym,
+                        name,
+                        level,
+                        attrs,
+                        node_id,
+                        attr_id_base,
+                        span,
+                        pushes,
+                    } if prefix.is_some() => {
+                        let map = prefix.as_ref().expect("guarded by arm");
+                        plans.clear();
+                        for p in pushes.iter() {
+                            if let Some(targets) = map.get(&p.node) {
+                                for &(li, mnode) in targets {
+                                    plans.push((li, mnode, p.ptr));
+                                }
+                            }
+                        }
+                        plans.sort_unstable();
+                        pred_lis.clear();
+                        if use_index {
+                            index.for_each_element_target(*sym, |gid| pred_lis.push(local_of[gid]));
+                        } else {
+                            pred_lis.extend(0..groups.len() as u32);
+                        }
+                        frames.push(frame_lis.len() as u32);
+                        crate::multi::merge_prefix_targets(
+                            &plans,
+                            &pred_lis,
+                            &mut main_scratch,
+                            &mut frame_lis,
+                            |li, main, preds| {
+                                let (gid, group) = &mut groups[li as usize];
+                                let gid = *gid as u32;
+                                group.machine_mut().start_element_prefix(
+                                    main,
+                                    preds,
+                                    *sym,
+                                    name,
+                                    *level,
+                                    attrs,
+                                    *node_id,
+                                    *attr_id_base,
+                                    *span,
+                                    &mut |m| matches.push(TaggedMatch { seq: *seq, gid, m }),
+                                )
+                            },
+                        );
+                    }
+                    ShardEvent::End { seq, name, level, element_span, .. } if prefix.is_some() => {
+                        let base = frames.pop().expect("shipped tags pair") as usize;
+                        for &li in &frame_lis[base..] {
+                            let (gid, group) = &mut groups[li as usize];
+                            let gid = *gid as u32;
+                            group.machine_mut().end_element(
+                                name,
+                                *level,
+                                *element_span,
                                 &mut |m| matches.push(TaggedMatch { seq: *seq, gid, m }),
-                            )
-                        },
-                    );
-                }
-                ShardEvent::End { seq, name, level, element_span, .. } if prefix.is_some() => {
-                    through_seq = *seq;
-                    let base = frames.pop().expect("shipped tags pair") as usize;
-                    for &li in &frame_lis[base..] {
-                        let (gid, group) = &mut groups[li as usize];
-                        let gid = *gid as u32;
-                        group.machine_mut().end_element(name, *level, *element_span, &mut |m| {
-                            matches.push(TaggedMatch { seq: *seq, gid, m })
-                        });
+                            );
+                        }
+                        frame_lis.truncate(base);
                     }
-                    frame_lis.truncate(base);
-                }
-                ShardEvent::Start { seq, sym, .. } | ShardEvent::End { seq, sym, .. } => {
-                    through_seq = *seq;
-                    if use_index {
-                        index.for_each_element_target(*sym, |gid| {
-                            touch(local_of[gid], *seq, gid as u32)
-                        });
-                    } else {
-                        for (li, &gid) in gids.iter().enumerate() {
-                            touch(li as u32, *seq, gid);
+                    ShardEvent::Start { seq, sym, .. } | ShardEvent::End { seq, sym, .. } => {
+                        if use_index {
+                            index.for_each_element_target(*sym, |gid| {
+                                touch(local_of[gid], *seq, gid as u32)
+                            });
+                        } else {
+                            for (li, &gid) in gids.iter().enumerate() {
+                                touch(li as u32, *seq, gid);
+                            }
                         }
                     }
-                }
-                ShardEvent::Text { seq, .. } => {
-                    through_seq = *seq;
-                    if use_index {
-                        index.for_each_text_target(|gid| touch(local_of[gid], *seq, gid as u32));
-                    } else {
-                        for (li, &gid) in gids.iter().enumerate() {
-                            touch(li as u32, *seq, gid);
+                    ShardEvent::Text { seq, .. } => {
+                        if use_index {
+                            index
+                                .for_each_text_target(|gid| touch(local_of[gid], *seq, gid as u32));
+                        } else {
+                            for (li, &gid) in gids.iter().enumerate() {
+                                touch(li as u32, *seq, gid);
+                            }
                         }
                     }
-                }
-                ShardEvent::DocEnd { seq } => {
-                    through_seq = *seq;
-                    doc_stats = Some(
-                        groups
-                            .iter()
-                            .map(|(gid, group)| GroupSnapshot {
-                                gid: *gid,
-                                stats: group.machine().stats().clone(),
-                                approx_bytes: group.approx_bytes(),
-                            })
-                            .collect(),
-                    );
+                    ShardEvent::DocEnd { .. } => {
+                        doc_stats = Some(
+                            groups
+                                .iter()
+                                .map(|(gid, group)| GroupSnapshot {
+                                    gid: *gid,
+                                    stats: group.machine().stats().clone(),
+                                    approx_bytes: group.approx_bytes(),
+                                })
+                                .collect(),
+                        );
+                    }
                 }
             }
+            frontier = batch.through;
+            // A stashed batch may now be directly applicable.
+            next = stash.remove(&frontier);
         }
         telemetry.add_elapsed(|r| &r.worker_busy_ns, t_batch);
         telemetry.record_span("batch", "shard", shard_tid, t_batch);
-        let report = WorkerReport {
-            shard,
-            matches: std::mem::take(&mut matches),
-            through_seq,
-            doc_stats,
-            poisoned: false,
-        };
-        if out.send(report).is_err() {
-            return; // session is gone; nothing left to report to
+        if frontier != before || doc_stats.is_some() {
+            let report = WorkerReport {
+                shard,
+                matches: std::mem::take(&mut matches),
+                through_seq: frontier,
+                doc_stats,
+                poisoned: false,
+            };
+            if out.send(report).is_err() {
+                return; // session is gone; nothing left to report to
+            }
+        } else {
+            // Stash-only round: nothing was applied, so nothing to say.
+            debug_assert!(matches.is_empty());
         }
     }
 }
@@ -420,7 +518,7 @@ pub(crate) fn run_worker(
 /// drop is a no-op.
 struct PoisonGuard<'a> {
     shard: usize,
-    ring: &'a Ring<EventBatch>,
+    ring: &'a Ring<SeqBatch>,
     out: &'a Sender<WorkerReport>,
 }
 
@@ -454,6 +552,38 @@ mod tests {
         assert_eq!(ring.pop(), Some(1));
         assert_eq!(ring.pop(), Some(2));
         assert_eq!(ring.pop(), None);
+    }
+
+    #[test]
+    fn ring_occupancy_high_water_is_registry_lifetime_scoped() {
+        // Pin the documented gauge scope: the occupancy high-water mark
+        // accumulates for the life of the registry — it does NOT reset
+        // between documents of a session (per-document peaks require
+        // snapshot differencing). A future "reset per document" change
+        // must flip this test deliberately.
+        let telemetry = Telemetry::enabled();
+        let ring = Ring::with_telemetry(4, telemetry.clone());
+        ring.push(1);
+        ring.push(2);
+        ring.push(3);
+        for _ in 0..3 {
+            ring.pop();
+        }
+        // "Next document": shallower occupancy must not lower the peak.
+        ring.push(4);
+        let (value, high) = occupancy(&telemetry);
+        assert_eq!(value, 1, "last recorded occupancy");
+        assert_eq!(high, 3, "high-water spans the whole registry lifetime");
+
+        fn occupancy(telemetry: &Telemetry) -> (u64, u64) {
+            let snapshot = telemetry.snapshot().expect("telemetry enabled");
+            let g = snapshot
+                .gauges
+                .iter()
+                .find(|g| g.name == "vitex_ring_occupancy")
+                .expect("occupancy gauge exported");
+            (g.value, g.high)
+        }
     }
 
     #[test]

@@ -41,6 +41,12 @@ impl Counter {
 }
 
 /// Last-value gauge with a monotonic high-water mark.
+///
+/// The high-water mark is **registry-lifetime scoped**: it is never reset,
+/// so across a multi-document `ShardSession` (or anything else sharing the
+/// telemetry handle) it reports the highest level any document reached.
+/// Per-document peaks must be obtained by snapshot differencing between
+/// runs, not from a single accumulated export.
 #[derive(Debug, Default)]
 pub struct Gauge {
     value: AtomicU64,
@@ -232,12 +238,28 @@ pub struct Registry {
     /// Wall nanoseconds for whole-document runs (`vitex_doc_ns_total`).
     pub doc_ns: Counter,
 
+    // ----- overlapped front-end producers (timing dependent) -----
+    /// Batches published to the shard rings by producer (publisher)
+    /// threads in the overlapped front-end
+    /// (`vitex_producer_batches_total`).
+    pub producer_batches: Counter,
+    /// Nanoseconds producer threads spent waiting for the coordinator's
+    /// admission walk to hand them work
+    /// (`vitex_producer_idle_ns_total`).
+    pub producer_idle_ns: Counter,
+
     // ----- gauges -----
-    /// Ring occupancy in batches, sampled at enqueue (`vitex_ring_occupancy`).
+    /// Ring occupancy in batches, sampled at enqueue
+    /// (`vitex_ring_occupancy`). High-water is registry-lifetime scoped
+    /// (see [`Gauge`]): it accumulates across every document a session
+    /// runs rather than resetting per document.
     pub ring_occupancy: Gauge,
     /// Matches held by the merger awaiting watermark release
     /// (`vitex_merge_hold_depth`).
     pub merge_hold_depth: Gauge,
+    /// Producer (publisher) threads feeding the shard rings in the
+    /// overlapped front-end (`vitex_producer_threads`).
+    pub producer_threads: Gauge,
 
     // ----- histograms (distributions; timing dependent) -----
     /// Per-event dispatch time in ns (`vitex_dispatch_ns`).
@@ -332,6 +354,8 @@ impl Registry {
             timing("vitex_worker_idle_ns_total", &self.worker_idle_ns),
             timing("vitex_merge_released_total", &self.merge_released),
             timing("vitex_doc_ns_total", &self.doc_ns),
+            timing("vitex_producer_batches_total", &self.producer_batches),
+            timing("vitex_producer_idle_ns_total", &self.producer_idle_ns),
         ]
     }
 
@@ -341,6 +365,7 @@ impl Registry {
         vec![
             row("vitex_ring_occupancy", &self.ring_occupancy),
             row("vitex_merge_hold_depth", &self.merge_hold_depth),
+            row("vitex_producer_threads", &self.producer_threads),
         ]
     }
 

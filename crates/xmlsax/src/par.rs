@@ -39,6 +39,8 @@
 
 use std::io::Cursor;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, Receiver};
+use std::sync::Arc;
 use std::time::Instant;
 
 use crate::error::{XmlError, XmlErrorKind, XmlResult};
@@ -69,6 +71,11 @@ pub struct ParallelConfig {
     /// everything except `max_depth`, which the coordinator enforces
     /// globally).
     pub reader: ReaderConfig,
+    /// Test-only fault injection: the worker that claims this chunk index
+    /// panics before parsing it. Exercises the poison path — the replay
+    /// must surface a clean sticky error, never hang or re-raise.
+    #[doc(hidden)]
+    pub fail_chunk: Option<usize>,
 }
 
 /// Counters describing how a parallel parse went.
@@ -115,13 +122,17 @@ struct OpenElem {
 /// The parallel counterpart of [`XmlReader`]: same event stream, produced
 /// by speculative chunk parsing on worker threads. See the module docs.
 ///
-/// All worker parsing happens in the constructor; [`next_event`] replays
-/// the reconciled stream (re-parsing misspeculated holes inline as it
-/// goes).
+/// The constructor spawns the workers and returns immediately; each
+/// finished chunk streams back to the coordinator over a channel, so
+/// [`next_event`] overlaps replay (and inline hole re-parsing) with the
+/// still-running speculative parses.
 ///
 /// [`next_event`]: EventSource::next_event
 pub struct ParallelReader {
     inner: Inner,
+    /// Set once `EndDocument` has been observed through [`Self::next_batch`]
+    /// (the batch API never yields it; later calls return `None`).
+    batches_done: bool,
 }
 
 enum Inner {
@@ -153,11 +164,10 @@ impl ParallelReader {
 
     /// Parses with explicit configuration and an observability probe (see
     /// [`crate::probe::ParseProbe`]). The probe receives per-chunk parse
-    /// timings from the worker threads during this constructor, stitch
+    /// timings from the worker threads as chunks finish (the workers
+    /// outlive this constructor and stream fragments back), stitch
     /// timings from the coordinator as the replay progresses, and scanner
-    /// byte counts as each internal reader finishes. Taken as a
-    /// constructor argument (not via [`ParallelConfig`]) because all
-    /// speculative parsing happens before this function returns.
+    /// byte counts as each internal reader finishes.
     pub fn with_config_probe(
         bytes: Vec<u8>,
         config: ParallelConfig,
@@ -175,16 +185,32 @@ impl ParallelReader {
             if let Some(p) = probe {
                 reader.set_probe(p);
             }
-            return ParallelReader { inner: Inner::Seq { reader, stats } };
+            return ParallelReader { inner: Inner::Seq { reader, stats }, batches_done: false };
         }
-        let frags =
-            parse_chunks(&bytes, &boundaries, config.threads, &config.reader, probe.as_ref());
-        let stats = ParStats { chunks: frags.len(), ..ParStats::default() };
+        let bytes = Arc::new(bytes);
+        let source = spawn_parse_workers(
+            &bytes,
+            Arc::new(boundaries.clone()),
+            config.threads,
+            &config.reader,
+            config.fail_chunk,
+            probe.as_ref(),
+        );
+        // Fragment starts are fixed by the split, independent of how the
+        // speculative parses go: chunk 0 begins at offset 0, chunk i at
+        // boundaries[i-1]. Keeping them here lets the replay skip
+        // misspeculated fragments and size hole re-parses without waiting
+        // for workers that are still running.
+        let mut starts = Vec::with_capacity(boundaries.len() + 1);
+        starts.push(0u64);
+        starts.extend_from_slice(&boundaries);
+        let stats = ParStats { chunks: starts.len(), ..ParStats::default() };
         ParallelReader {
             inner: Inner::Par(Box::new(Replay {
                 bytes,
                 config: config.reader,
-                frags: frags.into_iter().map(Some).collect(),
+                starts,
+                source,
                 next_frag: 0,
                 cur: None,
                 cur_event: 0,
@@ -197,6 +223,36 @@ impl ParallelReader {
                 stats,
                 probe,
             })),
+            batches_done: false,
+        }
+    }
+
+    /// Pulls the next run of reconciled events without per-event virtual
+    /// dispatch: up to an internal cap of owned events per call. The
+    /// stream-terminating `EndDocument` is never included — exhaustion is
+    /// signalled by `Ok(None)`, after the same end-of-document
+    /// well-formedness checks `next_event` performs. Errors are sticky,
+    /// exactly as for [`next_event`].
+    ///
+    /// [`next_event`]: EventSource::next_event
+    pub fn next_batch(&mut self) -> XmlResult<Option<Vec<XmlEvent>>> {
+        const BATCH_EVENTS: usize = 256;
+        if self.batches_done {
+            return Ok(None);
+        }
+        let mut events = Vec::with_capacity(BATCH_EVENTS);
+        while events.len() < BATCH_EVENTS {
+            let ev = self.next_event()?;
+            if ev.is_end_document() {
+                self.batches_done = true;
+                break;
+            }
+            events.push(ev);
+        }
+        if events.is_empty() {
+            Ok(None)
+        } else {
+            Ok(Some(events))
         }
     }
 
@@ -311,61 +367,107 @@ fn find_sub(haystack: &[u8], needle: &[u8]) -> Option<usize> {
 // Speculative workers
 // ------------------------------------------------------------------ //
 
-/// Parses chunk 0 (ordinary reader, absolute positions) and every
-/// boundary-delimited fragment on up to `threads` scoped worker threads,
-/// stealing chunks from a shared counter.
-fn parse_chunks(
-    bytes: &[u8],
-    boundaries: &[u64],
-    threads: usize,
-    config: &ReaderConfig,
-    probe: Option<&ProbeHandle>,
-) -> Vec<Fragment> {
-    let n = boundaries.len() + 1;
-    let target_end = |i: usize| -> u64 {
-        if i < boundaries.len() {
-            boundaries[i]
-        } else {
-            bytes.len() as u64
-        }
-    };
-    let next = AtomicUsize::new(0);
-    let workers = threads.min(n).max(1);
-    let mut slots: Vec<Option<Fragment>> = (0..n).map(|_| None).collect();
-    std::thread::scope(|s| {
-        let handles: Vec<_> = (0..workers)
-            .map(|w| {
-                let next = &next;
-                s.spawn(move || {
-                    let mut produced = Vec::new();
-                    loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= n {
-                            break;
-                        }
-                        let t0 = probe.map(|_| Instant::now());
-                        let frag = if i == 0 {
-                            parse_prefix(bytes, target_end(0), config, probe)
-                        } else {
-                            parse_fragment(bytes, boundaries[i - 1], target_end(i), config, probe)
-                        };
-                        if let (Some(p), Some(t0)) = (probe, t0) {
-                            let covered = frag.end.saturating_sub(frag.start);
-                            p.on_chunk(w, covered, t0, t0.elapsed().as_nanos() as u64);
-                        }
-                        produced.push((i, frag));
-                    }
-                    produced
-                })
-            })
-            .collect();
-        for handle in handles {
-            for (i, frag) in handle.join().expect("parse worker panicked") {
-                slots[i] = Some(frag);
+/// Speculative fragments streamed back from the parse workers as each
+/// chunk finishes, out of claim order. The replay blocks in [`wait`] only
+/// when it actually needs a fragment that has not arrived yet — chunks it
+/// will skip (misspeculations) never force a wait.
+///
+/// A worker that dies mid-chunk is detected by channel disconnection with
+/// the wanted slot still empty (work-stealing guarantees the chunk was
+/// claimed by *some* worker, so if every sender is gone and the fragment
+/// never arrived, its worker panicked); [`wait`] then returns a clean
+/// parse error instead of hanging or re-raising the panic.
+///
+/// [`wait`]: FragStream::wait
+struct FragStream {
+    rx: Receiver<(usize, Fragment)>,
+    slots: Vec<Option<Fragment>>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl FragStream {
+    fn wait(&mut self, idx: usize, at: TextPosition) -> XmlResult<Fragment> {
+        loop {
+            if let Some(frag) = self.slots[idx].take() {
+                return Ok(frag);
+            }
+            match self.rx.recv() {
+                Ok((i, frag)) => self.slots[i] = Some(frag),
+                Err(_) => {
+                    return Err(XmlError::syntax(
+                        "parse worker panicked before delivering its chunk",
+                        at,
+                    ))
+                }
             }
         }
-    });
-    slots.into_iter().map(|f| f.expect("all chunks parsed")).collect()
+    }
+}
+
+impl Drop for FragStream {
+    fn drop(&mut self) {
+        // Workers never block (the fragment channel is unbounded), so this
+        // join only waits for in-flight parses. A panicked worker's Err is
+        // deliberately ignored: the panic already surfaced as a clean
+        // sticky error through `wait`.
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Spawns up to `threads` owned worker threads that steal chunk indices
+/// from a shared counter, parse chunk 0 with the ordinary reader (absolute
+/// positions) and every boundary-delimited fragment speculatively, and
+/// send each finished fragment back the moment it is done.
+fn spawn_parse_workers(
+    bytes: &Arc<Vec<u8>>,
+    boundaries: Arc<Vec<u64>>,
+    threads: usize,
+    config: &ReaderConfig,
+    fail_chunk: Option<usize>,
+    probe: Option<&ProbeHandle>,
+) -> FragStream {
+    let n = boundaries.len() + 1;
+    let workers = threads.min(n).max(1);
+    let next = Arc::new(AtomicUsize::new(0));
+    let (tx, rx) = channel();
+    let handles = (0..workers)
+        .map(|w| {
+            let bytes = Arc::clone(bytes);
+            let boundaries = Arc::clone(&boundaries);
+            let config = config.clone();
+            let probe = probe.cloned();
+            let next = Arc::clone(&next);
+            let tx = tx.clone();
+            std::thread::spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                if fail_chunk == Some(i) {
+                    panic!("injected parse-worker fault at chunk {i}");
+                }
+                let target_end =
+                    if i < boundaries.len() { boundaries[i] } else { bytes.len() as u64 };
+                let t0 = probe.as_ref().map(|_| Instant::now());
+                let frag = if i == 0 {
+                    parse_prefix(&bytes, target_end, &config, probe.as_ref())
+                } else {
+                    parse_fragment(&bytes, boundaries[i - 1], target_end, &config, probe.as_ref())
+                };
+                if let (Some(p), Some(t0)) = (probe.as_ref(), t0) {
+                    let covered = frag.end.saturating_sub(frag.start);
+                    p.on_chunk(w, covered, t0, t0.elapsed().as_nanos() as u64);
+                }
+                if tx.send((i, frag)).is_err() {
+                    // Coordinator gone (reader dropped early): stop parsing.
+                    break;
+                }
+            })
+        })
+        .collect();
+    FragStream { rx, slots: (0..n).map(|_| None).collect(), handles }
 }
 
 /// Chunk 0: the ordinary sequential reader over the document prefix, so
@@ -441,11 +543,14 @@ fn drive<R: std::io::Read>(
 /// misspeculated holes, maintaining the single global open-element stack,
 /// and rebasing positions/levels/spans to absolute values.
 struct Replay {
-    bytes: Vec<u8>,
+    bytes: Arc<Vec<u8>>,
     config: ReaderConfig,
-    /// Speculated fragments in document order; `frags[0]` is chunk 0.
-    /// Slots are taken as they become current.
-    frags: Vec<Option<Fragment>>,
+    /// Static start offset of every chunk in document order (`starts[0]`
+    /// is 0); fixed by the split, so the replay can skip and size holes
+    /// without waiting for the fragments themselves.
+    starts: Vec<u64>,
+    /// Fragments streaming in from the workers, out of order.
+    source: FragStream,
     next_frag: usize,
     cur: Option<Fragment>,
     cur_event: usize,
@@ -475,8 +580,12 @@ impl Replay {
         loop {
             // Ensure a current fragment (accepting, discarding, or
             // re-parsing as needed); none left means the document is done.
-            if self.cur.is_none() && !self.advance_fragment() {
-                return self.finish();
+            if self.cur.is_none() {
+                match self.advance_fragment() {
+                    Ok(true) => {}
+                    Ok(false) => return self.finish(),
+                    Err(e) => return Err(self.fail(e)),
+                }
             }
             let next = {
                 let frag = self.cur.as_mut().expect("current fragment");
@@ -521,34 +630,29 @@ impl Replay {
     /// Selects the fragment starting exactly at `cursor`: skips
     /// speculations the previous fragment overshot, re-parses the hole
     /// inline when the next speculation starts too far ahead. Returns
-    /// `false` when the document is exhausted.
-    fn advance_fragment(&mut self) -> bool {
-        while self.next_frag < self.frags.len() {
-            let start = self.frags[self.next_frag].as_ref().expect("unconsumed fragment").start;
-            if start < self.cursor {
-                self.frags[self.next_frag] = None;
-                self.next_frag += 1;
-                self.stats.misspeculated += 1;
-            } else {
-                break;
-            }
+    /// `Ok(false)` when the document is exhausted; blocks on the worker
+    /// stream only when the fragment it is about to *accept* has not
+    /// arrived yet (skips and holes are decided from the static starts).
+    fn advance_fragment(&mut self) -> XmlResult<bool> {
+        while self.next_frag < self.starts.len() && self.starts[self.next_frag] < self.cursor {
+            // Misspeculated: the previous fragment overshot this start.
+            // The parse result is never needed, so don't wait for it.
+            self.next_frag += 1;
+            self.stats.misspeculated += 1;
         }
-        if self.next_frag < self.frags.len() {
-            let start = self.frags[self.next_frag].as_ref().expect("unconsumed fragment").start;
-            if start == self.cursor {
-                self.cur = self.frags[self.next_frag].take();
-                self.cur_event = 0;
-                self.next_frag += 1;
-                return true;
-            }
+        if self.next_frag < self.starts.len() && self.starts[self.next_frag] == self.cursor {
+            self.cur = Some(self.source.wait(self.next_frag, self.base)?);
+            self.cur_event = 0;
+            self.next_frag += 1;
+            return Ok(true);
         }
         if self.cursor >= self.bytes.len() as u64 {
-            return false;
+            return Ok(false);
         }
         // Hole: the accepted stream stopped short of the next speculation
         // (or of document end). Re-parse it inline up to that point.
-        let target = match self.frags.get(self.next_frag).and_then(|f| f.as_ref()) {
-            Some(f) => f.start,
+        let target = match self.starts.get(self.next_frag) {
+            Some(&start) => start,
             None => self.bytes.len() as u64,
         };
         self.stats.reparsed += 1;
@@ -564,7 +668,7 @@ impl Replay {
         if let (Some(p), Some(t0)) = (&self.probe, t0) {
             p.on_stitch(t0.elapsed().as_nanos() as u64);
         }
-        true
+        Ok(true)
     }
 
     /// Applies global well-formedness and position/level/span fixups to
@@ -726,11 +830,7 @@ mod tests {
     fn par_events(xml: &str, chunk: usize) -> XmlResult<Vec<XmlEvent>> {
         ParallelReader::with_config(
             xml.as_bytes().to_vec(),
-            ParallelConfig {
-                threads: 3,
-                chunk_bytes: Some(chunk),
-                reader: ReaderConfig::default(),
-            },
+            ParallelConfig { threads: 3, chunk_bytes: Some(chunk), ..ParallelConfig::default() },
         )
         .collect_events()
     }
@@ -839,7 +939,7 @@ mod tests {
     fn end_document_is_sticky() {
         let mut par = ParallelReader::with_config(
             b"<r>aaaa</r>".to_vec(),
-            ParallelConfig { threads: 2, chunk_bytes: Some(4), reader: ReaderConfig::default() },
+            ParallelConfig { threads: 2, chunk_bytes: Some(4), ..ParallelConfig::default() },
         );
         loop {
             if par.next_event().unwrap().is_end_document() {
@@ -886,7 +986,7 @@ mod tests {
                 ParallelConfig {
                     threads: 3,
                     chunk_bytes: Some(chunk),
-                    reader: ReaderConfig::default(),
+                    ..ParallelConfig::default()
                 },
                 Some(probe.clone()),
             );
@@ -902,10 +1002,69 @@ mod tests {
     }
 
     #[test]
+    fn next_batch_matches_the_event_stream() {
+        let xml = "<r>pre<!-- a <fake> tag --><x/><![CDATA[raw <y>]]>post<d>more</d></r>";
+        for chunk in [1, 3, 7, 64] {
+            let expected: Vec<XmlEvent> = par_events(xml, chunk)
+                .unwrap()
+                .into_iter()
+                .filter(|e| !e.is_end_document())
+                .collect();
+            let mut par = ParallelReader::with_config(
+                xml.as_bytes().to_vec(),
+                ParallelConfig {
+                    threads: 3,
+                    chunk_bytes: Some(chunk),
+                    ..ParallelConfig::default()
+                },
+            );
+            let mut got = Vec::new();
+            while let Some(batch) = par.next_batch().unwrap() {
+                got.extend(batch);
+            }
+            assert_eq!(got, expected, "chunk={chunk}");
+            // Exhaustion is sticky.
+            assert!(par.next_batch().unwrap().is_none());
+        }
+        // The sequential fallback speaks the same batch API.
+        let mut seq = ParallelReader::from_str(xml, 1);
+        let mut got = Vec::new();
+        while let Some(batch) = seq.next_batch().unwrap() {
+            got.extend(batch);
+        }
+        let expected: Vec<XmlEvent> =
+            seq_events(xml).unwrap().into_iter().filter(|e| !e.is_end_document()).collect();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn parse_worker_panic_surfaces_a_clean_sticky_error() {
+        let xml = "<r>".to_string() + &"<a>text</a>".repeat(40) + "</r>";
+        let mut par = ParallelReader::with_config(
+            xml.into_bytes(),
+            ParallelConfig {
+                threads: 2,
+                chunk_bytes: Some(16),
+                fail_chunk: Some(3),
+                ..ParallelConfig::default()
+            },
+        );
+        let first = loop {
+            match par.next_event() {
+                Ok(ev) => assert!(!ev.is_end_document(), "stream must not complete"),
+                Err(e) => break e.to_string(),
+            }
+        };
+        assert!(first.contains("parse worker panicked"), "unexpected error: {first}");
+        assert_eq!(par.next_event().unwrap_err().to_string(), first);
+        assert_eq!(par.next_batch().unwrap_err().to_string(), first);
+    }
+
+    #[test]
     fn error_is_sticky() {
         let mut par = ParallelReader::with_config(
             b"<r><a>text</b></r>".to_vec(),
-            ParallelConfig { threads: 2, chunk_bytes: Some(5), reader: ReaderConfig::default() },
+            ParallelConfig { threads: 2, chunk_bytes: Some(5), ..ParallelConfig::default() },
         );
         let first = loop {
             match par.next_event() {

@@ -26,10 +26,11 @@ use std::sync::Arc;
 
 use vitex_core::telemetry::{trace_json, Telemetry};
 use vitex_core::{
-    DispatchMode, Engine, EvalMode, Match, MatchKind, MultiOutput, PlanMode, ShardedEngine,
+    DispatchMode, Engine, EvalMode, Match, MatchKind, MultiOutput, PlanMode, QueryId, ShardedEngine,
 };
 use vitex_xmlsax::{
-    EventSource, ParallelConfig, ParallelReader, ProbeHandle, XmlEvent, XmlReader, XmlResult,
+    EventSource, ParStats, ParallelConfig, ParallelReader, ProbeHandle, XmlEvent, XmlReader,
+    XmlResult,
 };
 use vitex_xpath::QueryTree;
 
@@ -45,6 +46,7 @@ struct Options {
     prefix_sharing: bool,
     shards: usize,
     parse_threads: usize,
+    no_overlap: bool,
     machine: bool,
     metrics: bool,
     metrics_json: Option<String>,
@@ -56,6 +58,16 @@ impl Options {
     /// exactly then; otherwise every instrumentation point is a no-op).
     fn telemetry_requested(&self) -> bool {
         self.metrics || self.metrics_json.is_some() || self.trace_out.is_some()
+    }
+
+    /// Whether the overlapped front-end runs: parse workers feed shard
+    /// rings through publisher threads instead of funneling every event
+    /// through the document thread's pump. On by default as soon as both
+    /// `--parse-threads` and `--shards` exceed 1; `--no-overlap` keeps
+    /// the pipelined front-end for comparison (identical output either
+    /// way).
+    fn overlapped(&self) -> bool {
+        !self.no_overlap && self.parse_threads >= 2 && self.shards >= 2
     }
 }
 
@@ -73,6 +85,7 @@ const FLAGS: &[&str] = &[
     "--prefix-sharing",
     "--shards",
     "--parse-threads",
+    "--no-overlap",
     "--machine",
     "--metrics",
     "--metrics-json",
@@ -103,6 +116,8 @@ fn usage() -> ! {
          \x20 --prefix-sharing       multi-query: advance shared main-path prefixes once per event (same output)\n\
          \x20 --shards <N>           run plan groups on N worker threads; output identical to N=1 (default 1)\n\
          \x20 --parse-threads <N>    parse the document itself on N threads; 0 or 1 = sequential (default 1)\n\
+         \x20 --no-overlap           keep the pipelined front-end even when --parse-threads and --shards\n\
+         \x20                        both exceed 1 (default: overlapped parse->match; identical output)\n\
          \x20 --machine              dump the compiled TwigM machine(s) and exit without reading a document\n\
          \x20 --metrics              print a human-readable telemetry summary on stderr after the run\n\
          \x20 --metrics-json <PATH>  write a metrics snapshot (vitex.metrics.v1 JSON) to PATH\n\
@@ -166,6 +181,7 @@ fn parse_args() -> Options {
         prefix_sharing: false,
         shards: 1,
         parse_threads: 1,
+        no_overlap: false,
         machine: false,
         metrics: false,
         metrics_json: None,
@@ -193,6 +209,7 @@ fn parse_args() -> Options {
                 Some(n) => opts.parse_threads = n,
                 None => usage(),
             },
+            "--no-overlap" => opts.no_overlap = true,
             "--machine" => opts.machine = true,
             "--metrics" => opts.metrics = true,
             "--metrics-json" => match args.next() {
@@ -319,37 +336,51 @@ impl EventSource for AnyReader {
 /// enabled telemetry handle doubles as the front-end's [`ParseProbe`]
 /// (scanner byte counts, chunk spans, stitch timings).
 fn open_reader(opts: &Options, telemetry: &Telemetry) -> Result<AnyReader, ExitCode> {
-    let mut source = open_source(&opts.file)?;
     let probe: Option<ProbeHandle> =
         telemetry.is_enabled().then(|| Arc::new(telemetry.clone()) as ProbeHandle);
     if opts.parse_threads <= 1 {
+        let source = open_source(&opts.file)?;
         let mut reader = XmlReader::new(source);
         if let Some(p) = probe {
             reader.set_probe(p);
         }
         return Ok(AnyReader::Seq(Box::new(reader)));
     }
-    let mut bytes = Vec::new();
-    if let Err(e) = source.read_to_end(&mut bytes) {
-        eprintln!("vitex: {}: {e}", opts.file.as_deref().unwrap_or("<stdin>"));
-        return Err(ExitCode::from(2));
-    }
+    let bytes = slurp_bytes(&opts.file)?;
     let config = ParallelConfig { threads: opts.parse_threads, ..ParallelConfig::default() };
     Ok(AnyReader::Par(Box::new(ParallelReader::with_config_probe(bytes, config, probe))))
 }
 
+/// Reads FILE (or stdin) fully into memory — the parallel and overlapped
+/// front-ends split the raw bytes into chunks.
+fn slurp_bytes(file: &Option<String>) -> Result<Vec<u8>, ExitCode> {
+    let mut source = open_source(file)?;
+    let mut bytes = Vec::new();
+    if let Err(e) = source.read_to_end(&mut bytes) {
+        eprintln!("vitex: {}: {e}", file.as_deref().unwrap_or("<stdin>"));
+        return Err(ExitCode::from(2));
+    }
+    Ok(bytes)
+}
+
+/// The `--stats` parallel front-end line, shared by the pipelined and
+/// overlapped paths (the sequential reader has no speculation to report).
+fn print_par_line(s: &ParStats) {
+    eprintln!(
+        "par:        chunks={} misspeculated={} reparsed={} sequential_fallback={}",
+        s.chunks, s.misspeculated, s.reparsed, s.sequential_fallback
+    );
+}
+
 /// Post-run front-end accounting: folds the parallel reader's statistics
 /// into the telemetry registry and, under `--stats`, surfaces them on
-/// stderr (the sequential reader has no speculation to report).
+/// stderr.
 fn finish_parse_stats(reader: &AnyReader, opts: &Options, telemetry: &Telemetry) {
     if let AnyReader::Par(r) = reader {
         let s = r.stats();
         telemetry.fold_par(&s);
         if opts.stats {
-            eprintln!(
-                "par:        chunks={} misspeculated={} reparsed={} sequential_fallback={}",
-                s.chunks, s.misspeculated, s.reparsed, s.sequential_fallback
-            );
+            print_par_line(&s);
         }
     }
 }
@@ -449,10 +480,6 @@ fn run_multi(opts: &Options, trees: &[QueryTree], telemetry: &Telemetry) -> Exit
             return ExitCode::from(2);
         }
     }
-    let mut reader = match open_reader(opts, telemetry) {
-        Ok(r) => r,
-        Err(code) => return code,
-    };
     let stdout = io::stdout();
     let mut out = stdout.lock();
     // A single query sharded across threads keeps the single-query output
@@ -460,7 +487,7 @@ fn run_multi(opts: &Options, trees: &[QueryTree], telemetry: &Telemetry) -> Exit
     // a pure execution knob, never a format change.
     let prefixed = trees.len() > 1;
     let mut counts = vec![0u64; trees.len()];
-    let result: Result<MultiOutput, _> = multi.run(&mut reader, |qid, m| {
+    let mut on_match = |qid: QueryId, m: Match| {
         counts[qid.0] += 1;
         if !opts.count {
             let line = describe(&m, opts.values);
@@ -470,7 +497,40 @@ fn run_multi(opts: &Options, trees: &[QueryTree], telemetry: &Telemetry) -> Exit
                 writeln!(out, "{line}")
             };
         }
-    });
+    };
+    // The parallel-parse statistics of whichever front-end ran, for the
+    // `--stats` par line (`None` for the sequential reader).
+    let mut par: Option<ParStats> = None;
+    let result: Result<MultiOutput, _> = if opts.overlapped() {
+        // Overlapped front-end: parse workers and publisher threads feed
+        // the shard rings; the call folds its own telemetry.
+        match slurp_bytes(&opts.file) {
+            Ok(bytes) => {
+                let config =
+                    ParallelConfig { threads: opts.parse_threads, ..ParallelConfig::default() };
+                multi.run_overlapped(bytes, config, &mut on_match).map(|(output, stats)| {
+                    par = Some(stats);
+                    output
+                })
+            }
+            Err(code) => return code,
+        }
+    } else {
+        match open_reader(opts, telemetry) {
+            Ok(mut reader) => {
+                let result = multi.run(&mut reader, &mut on_match);
+                if result.is_ok() {
+                    if let AnyReader::Par(r) = &reader {
+                        let s = r.stats();
+                        telemetry.fold_par(&s);
+                        par = Some(s);
+                    }
+                }
+                result
+            }
+            Err(code) => return code,
+        }
+    };
     match result {
         Ok(output) => {
             if opts.count {
@@ -498,8 +558,10 @@ fn run_multi(opts: &Options, trees: &[QueryTree], telemetry: &Telemetry) -> Exit
                         eprintln!("machine:    {}", s.summary());
                     }
                 }
+                if let Some(s) = &par {
+                    print_par_line(s);
+                }
             }
-            finish_parse_stats(&reader, opts, telemetry);
             if let Err(code) = export_telemetry(opts, telemetry) {
                 return code;
             }

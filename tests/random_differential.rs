@@ -2,7 +2,8 @@
 //! seeded random documents, run through every engine configuration the
 //! system has — naive baseline, `PlanMode::{Unshared, Shared,
 //! PrefixShared}` × `DispatchMode::{Indexed, Scan}` × shard counts
-//! {1, 4} — asserting identical matches, callback order and statistics.
+//! {1, 4} × parse front-ends (sequential, pipelined, overlapped) —
+//! asserting identical matches, callback order and statistics.
 //!
 //! This is the correctness net under the prefix-sharing rewrite of the
 //! hottest matching path: the hand-picked battery in
@@ -22,13 +23,47 @@ use proptest::prelude::*;
 use vitex::baseline::{naive, NaiveConfig};
 use vitex::core::{DispatchMode, MultiOutput, PlanMode, PlanStats, ShardedEngine};
 use vitex::xmlgen::random::{self, RandomConfig};
-use vitex::xmlsax::XmlReader;
+use vitex::xmlsax::{ParallelConfig, ParallelReader, XmlReader};
 use vitex::xpath::generate::{GenConfig, QueryGenerator};
 use vitex::xpath::QueryTree;
 
 /// Shard counts the harness runs at (1 = the inline single-threaded
 /// delegation, 4 = a genuinely threaded partition).
 const SHARDS: &[usize] = &[1, 4];
+
+/// Parse front-ends the harness sweeps. `Sequential` is the streaming
+/// reader; `Pipelined(n)` is the n-thread speculative chunked reader
+/// funneled through the document pump; `Overlapped(n)` is the overlapped
+/// front-end — n parse workers and n publisher threads feeding the shard
+/// rings directly, with out-of-order batch delivery. All three must be
+/// byte-identical in matches, callback order and statistics.
+#[derive(Clone, Copy, Debug)]
+enum FrontEnd {
+    Sequential,
+    Pipelined(usize),
+    Overlapped(usize),
+}
+
+/// Every front-end at the counts the fixed-seed sweep pins.
+const ALL_FRONT_ENDS: &[FrontEnd] = &[
+    FrontEnd::Sequential,
+    FrontEnd::Pipelined(2),
+    FrontEnd::Pipelined(4),
+    FrontEnd::Overlapped(2),
+    FrontEnd::Overlapped(4),
+];
+
+/// The cheaper axis for the randomized properties: sequential versus one
+/// overlapped configuration (the fixed-seed sweep covers the rest).
+const FAST_FRONT_ENDS: &[FrontEnd] = &[FrontEnd::Sequential, FrontEnd::Overlapped(2)];
+
+/// Tiny chunks so even this harness's small documents split into many
+/// speculative fragments: the seam reconciliation and the out-of-order
+/// publication paths get exercised, not just the whole-document
+/// fallback.
+fn par_config(threads: usize) -> ParallelConfig {
+    ParallelConfig { threads, chunk_bytes: Some(96), ..ParallelConfig::default() }
+}
 
 /// Queries per generated set — enough for overlap and duplicates to
 /// appear (the generator's alphabet is 5 tags), small enough to keep the
@@ -61,15 +96,30 @@ fn run_config(
     plan: PlanMode,
     dispatch: DispatchMode,
     shards: usize,
+    front: FrontEnd,
 ) -> RunResult {
     let mut engine = ShardedEngine::with_options(shards, dispatch, plan);
     for tree in trees {
         engine.add_tree(tree).expect("registrable");
     }
     let mut streamed = Vec::new();
-    let out = engine
-        .run(XmlReader::from_str(xml), |qid, m| streamed.push((qid.0, m.node)))
-        .expect("engine run");
+    let out = match front {
+        FrontEnd::Sequential => engine
+            .run(XmlReader::from_str(xml), |qid, m| streamed.push((qid.0, m.node)))
+            .expect("engine run"),
+        FrontEnd::Pipelined(threads) => {
+            let reader = ParallelReader::with_config(xml.as_bytes().to_vec(), par_config(threads));
+            engine.run(reader, |qid, m| streamed.push((qid.0, m.node))).expect("engine run")
+        }
+        FrontEnd::Overlapped(threads) => {
+            engine
+                .run_overlapped(xml.as_bytes().to_vec(), par_config(threads), |qid, m| {
+                    streamed.push((qid.0, m.node))
+                })
+                .expect("engine run")
+                .0
+        }
+    };
     RunResult { out, streamed }
 }
 
@@ -85,15 +135,23 @@ fn structural(p: &PlanStats) -> PlanStats {
     }
 }
 
-/// The full differential check for one (document, query set) pair.
-fn check_case(doc_seed: u64, query_seed: u64) {
+/// The full differential check for one (document, query set) pair,
+/// sweeping plan × dispatch × shards × the given parse front-ends.
+fn check_case(doc_seed: u64, query_seed: u64, fronts: &[FrontEnd]) {
     let ctx = format!("doc_seed={doc_seed} query_seed={query_seed}");
     let xml = random::to_string(&RandomConfig::seeded(doc_seed));
     let trees = query_set(query_seed);
 
     // Ground truth per query: the naive embedding enumerator (sorted
     // node-id sets; skipped per query on combinatorial blowup).
-    let reference = run_config(&trees, &xml, PlanMode::Unshared, DispatchMode::Indexed, 1);
+    let reference = run_config(
+        &trees,
+        &xml,
+        PlanMode::Unshared,
+        DispatchMode::Indexed,
+        1,
+        FrontEnd::Sequential,
+    );
     for (i, tree) in trees.iter().enumerate() {
         let eval = naive::NaiveEvaluator::new(tree, NaiveConfig { max_embeddings: 100_000 });
         match eval.run(XmlReader::from_str(&xml)) {
@@ -118,24 +176,27 @@ fn check_case(doc_seed: u64, query_seed: u64) {
         let mut plan_reference: Option<RunResult> = None;
         for dispatch in [DispatchMode::Indexed, DispatchMode::Scan] {
             for &shards in SHARDS {
-                let r = run_config(&trees, &xml, plan, dispatch, shards);
-                let label = format!("{ctx}: {plan:?}/{dispatch:?}/{shards} shards");
-                // Matches (full payloads: spans, values, levels) and
-                // machine statistics are mode-invariant.
-                assert_eq!(r.out.matches, reference.out.matches, "matches: {label}");
-                assert_eq!(r.out.stats, reference.out.stats, "machine stats: {label}");
-                assert_eq!(
-                    (r.out.elements, r.out.text_nodes, r.out.events),
-                    (reference.out.elements, reference.out.text_nodes, reference.out.events),
-                    "stream stats: {label}"
-                );
-                // Callback order and plan statistics are invariant across
-                // dispatch modes and shard counts within one plan mode.
-                match &plan_reference {
-                    None => plan_reference = Some(r),
-                    Some(first) => {
-                        assert_eq!(r.streamed, first.streamed, "callback order: {label}");
-                        assert_eq!(r.out.plan, first.out.plan, "plan stats: {label}");
+                for &front in fronts {
+                    let r = run_config(&trees, &xml, plan, dispatch, shards, front);
+                    let label = format!("{ctx}: {plan:?}/{dispatch:?}/{shards} shards/{front:?}");
+                    // Matches (full payloads: spans, values, levels) and
+                    // machine statistics are mode-invariant.
+                    assert_eq!(r.out.matches, reference.out.matches, "matches: {label}");
+                    assert_eq!(r.out.stats, reference.out.stats, "machine stats: {label}");
+                    assert_eq!(
+                        (r.out.elements, r.out.text_nodes, r.out.events),
+                        (reference.out.elements, reference.out.text_nodes, reference.out.events),
+                        "stream stats: {label}"
+                    );
+                    // Callback order and plan statistics are invariant
+                    // across dispatch modes, shard counts and parse
+                    // front-ends within one plan mode.
+                    match &plan_reference {
+                        None => plan_reference = Some(r),
+                        Some(first) => {
+                            assert_eq!(r.streamed, first.streamed, "callback order: {label}");
+                            assert_eq!(r.out.plan, first.out.plan, "plan stats: {label}");
+                        }
                     }
                 }
             }
@@ -175,10 +236,12 @@ proptest! {
     #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
 
     /// The headline randomized sweep: random documents × random query
-    /// sets through the full engine-configuration product.
+    /// sets through the full engine-configuration product (sequential
+    /// and one overlapped front-end; the fixed-seed sweep pins the full
+    /// front-end matrix).
     #[test]
     fn engines_agree_on_random_query_sets(doc_seed in 0u64..4000, query_seed in 0u64..4000) {
-        check_case(doc_seed, query_seed);
+        check_case(doc_seed, query_seed, FAST_FRONT_ENDS);
     }
 
     /// Deeply recursive documents — the regime where shared prefix
@@ -187,10 +250,11 @@ proptest! {
     fn engines_agree_on_recursive_documents(depth in 2u64..14, query_seed in 0u64..500) {
         let xml = vitex::xmlgen::recursive::uniform_nesting(depth as usize);
         let trees = query_set(query_seed);
-        let reference = run_config(&trees, &xml, PlanMode::Unshared, DispatchMode::Indexed, 1);
+        let reference =
+            run_config(&trees, &xml, PlanMode::Unshared, DispatchMode::Indexed, 1, FrontEnd::Sequential);
         for plan in [PlanMode::Shared, PlanMode::PrefixShared] {
             for &shards in SHARDS {
-                let r = run_config(&trees, &xml, plan, DispatchMode::Indexed, shards);
+                let r = run_config(&trees, &xml, plan, DispatchMode::Indexed, shards, FrontEnd::Sequential);
                 prop_assert_eq!(
                     &r.out.matches, &reference.out.matches,
                     "depth={} query_seed={} {:?}/{} shards", depth, query_seed, plan, shards
@@ -212,6 +276,6 @@ fn fixed_seed_regression_sweep() {
     const SEEDS: &[(u64, u64)] =
         &[(0, 0), (1, 1), (7, 1913), (42, 42), (99, 3), (1234, 567), (2025, 729), (3999, 3999)];
     for &(doc_seed, query_seed) in SEEDS {
-        check_case(doc_seed, query_seed);
+        check_case(doc_seed, query_seed, ALL_FRONT_ENDS);
     }
 }

@@ -14,7 +14,7 @@
 use vitex::core::telemetry::{trace_json, Telemetry};
 use vitex::core::{DispatchMode, MultiOutput, PlanMode, ShardedEngine};
 use vitex::xmlgen::random::{self, RandomConfig};
-use vitex::xmlsax::XmlReader;
+use vitex::xmlsax::{ParallelConfig, ParallelReader, XmlReader};
 use vitex::xpath::generate::{GenConfig, QueryGenerator};
 use vitex::xpath::QueryTree;
 
@@ -77,6 +77,85 @@ fn deterministic_counters_are_invariant_across_dispatch_and_shards() {
     }
 }
 
+/// Tiny chunks so the harness's documents split for real instead of
+/// taking the sequential whole-document fallback.
+fn par_config(threads: usize) -> ParallelConfig {
+    ParallelConfig { threads, chunk_bytes: Some(96), ..ParallelConfig::default() }
+}
+
+#[test]
+fn deterministic_counters_are_invariant_across_parse_front_ends() {
+    // Sequential reader, pipelined reader (2 and 4 parse threads) and the
+    // overlapped front-end (2 and 4 producers) must export byte-identical
+    // deterministic counters — scheduling is an implementation detail.
+    // This is the telemetry face of the `--no-overlap` CLI equivalence.
+    for (doc_seed, query_seed) in [(11u64, 5u64), (42, 9)] {
+        let xml = random::to_string(&RandomConfig::seeded(doc_seed));
+        let trees = query_set(query_seed);
+        for &shards in SHARDS {
+            let mut reference: Option<String> = None;
+            let mut check = |telemetry: Telemetry, label: &str| {
+                let json = telemetry.snapshot().expect("enabled").deterministic_json();
+                match &reference {
+                    None => reference = Some(json),
+                    Some(r) => assert_eq!(
+                        &json, r,
+                        "doc_seed={doc_seed} query_seed={query_seed} shards={shards} \
+                         {label}: deterministic counters must be front-end invariant"
+                    ),
+                }
+            };
+            let make_engine = |telemetry: &Telemetry| {
+                let mut engine =
+                    ShardedEngine::with_options(shards, DispatchMode::Indexed, PlanMode::Shared);
+                engine.set_telemetry(telemetry.clone());
+                for tree in &trees {
+                    engine.add_tree(tree).expect("registrable");
+                }
+                engine
+            };
+            {
+                let telemetry = Telemetry::enabled();
+                let mut engine = make_engine(&telemetry);
+                engine.run(XmlReader::from_str(&xml), |_, _| {}).expect("sequential");
+                check(telemetry, "sequential");
+            }
+            for threads in [2usize, 4] {
+                let telemetry = Telemetry::enabled();
+                let mut engine = make_engine(&telemetry);
+                let reader =
+                    ParallelReader::with_config(xml.as_bytes().to_vec(), par_config(threads));
+                engine.run(reader, |_, _| {}).expect("pipelined");
+                check(telemetry, &format!("pipelined({threads})"));
+            }
+            for threads in [2usize, 4] {
+                let telemetry = Telemetry::enabled();
+                let mut engine = make_engine(&telemetry);
+                engine
+                    .run_overlapped(xml.as_bytes().to_vec(), par_config(threads), |_, _| {})
+                    .expect("overlapped");
+                let snapshot = telemetry.snapshot().expect("enabled");
+                if shards > 1 {
+                    // The overlapped front-end actually ran: producer
+                    // metrics were recorded (as scheduling-dependent
+                    // timing metrics, outside the deterministic subset).
+                    assert!(
+                        snapshot.counter("vitex_producer_batches_total").unwrap() > 0,
+                        "producers published batches"
+                    );
+                    assert!(
+                        snapshot.gauges.iter().any(
+                            |g| g.name == "vitex_producer_threads" && g.value == threads as u64
+                        ),
+                        "producer thread-count gauge recorded"
+                    );
+                }
+                check(telemetry, &format!("overlapped({threads})"));
+            }
+        }
+    }
+}
+
 #[test]
 fn stream_and_match_counters_are_invariant_across_plan_modes() {
     // The machine/plan counters legitimately differ between plan modes
@@ -134,7 +213,9 @@ fn timing_metrics_are_present_but_excluded_from_the_deterministic_export() {
     assert!(snapshot.histograms.iter().any(|h| h.name == "vitex_batch_events" && h.count > 0));
     // …but none of it leaks into the deterministic subset.
     let det = snapshot.deterministic_json();
-    for name in ["doc_ns", "dispatch_ns", "ring_", "worker_", "merge_", "scan_", "parse_"] {
+    for name in
+        ["doc_ns", "dispatch_ns", "ring_", "worker_", "merge_", "scan_", "parse_", "producer"]
+    {
         assert!(!det.contains(name), "{name} must not appear in {det}");
     }
     // Full snapshot still lists every timing counter (zero or not).
