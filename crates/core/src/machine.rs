@@ -444,6 +444,9 @@ impl TwigM {
         tag_span: ByteSpan,
         emit: &mut dyn FnMut(Match),
     ) {
+        if !plan.is_empty() {
+            self.stats.dispatch_hits += 1;
+        }
         for &(q, ptr) in plan {
             self.push_entry(
                 q as usize,
@@ -504,6 +507,7 @@ impl TwigM {
         let mut flags = SmallBitSet::empty(node.nflags as usize);
         // Inline attribute predicates are decidable right now.
         for ap in &node.attr_preds {
+            self.stats.predicate_evals += 1;
             let hit = attributes.iter().any(|a| {
                 attr_name_matches(ap.name.as_deref(), a.name.as_str())
                     && cmp_opt(&ap.comparison, &a.value)
@@ -584,6 +588,7 @@ impl TwigM {
             if let Some(top) = self.stacks[q].last_mut() {
                 if top.level == level {
                     for tp in &self.spec.nodes[q].text_preds {
+                        self.stats.predicate_evals += 1;
                         let slot = tp.slot.expect("predicate tests carry slots") as usize;
                         if !top.flags.get(slot) && cmp_opt(&tp.comparison, text) {
                             top.flags.set(slot);
@@ -679,7 +684,10 @@ impl TwigM {
         let preds_ok = e.flags.all_set(node.nflags as usize);
         let cmp_ok = match &node.comparison {
             None => true,
-            Some((op, lit)) => predicate::compare(e.text.as_deref().unwrap_or(""), *op, lit),
+            Some((op, lit)) => {
+                self.stats.predicate_evals += 1;
+                predicate::compare(e.text.as_deref().unwrap_or(""), *op, lit)
+            }
         };
         let satisfied = preds_ok && cmp_ok;
 

@@ -239,12 +239,17 @@ pub struct MultiEngine {
     /// [`PlanMode::PrefixShared`] (the main path dispatches through the
     /// plan trie instead); `None` in the other plan modes.
     pred_index: Option<DispatchIndex>,
+    /// Per-subscription cost attribution (disabled by default).
+    profile: crate::telemetry::CostLedger,
+    /// Scratch for prefix-shared runs: trie pushes billed per routed
+    /// group this document (indexed by gid; empty when profiling is off).
+    shared_scratch: Vec<u64>,
 }
 
 /// One registration's bookkeeping.
 pub(crate) struct QueryRecord {
     /// Canonical text of the query as registered.
-    text: String,
+    pub(crate) text: String,
     /// Owning plan group; `None` once removed.
     pub(crate) group: Option<usize>,
 }
@@ -274,6 +279,8 @@ impl MultiEngine {
             mode,
             index: DispatchIndex::default(),
             pred_index: (plan == PlanMode::PrefixShared).then(DispatchIndex::default),
+            profile: crate::telemetry::CostLedger::disabled(),
+            shared_scratch: Vec::new(),
         }
     }
 
@@ -379,6 +386,32 @@ impl MultiEngine {
         self.driver.telemetry()
     }
 
+    /// Enables (or disables) per-subscription cost attribution. Each run
+    /// then folds per-query machine counters, match deliveries, and
+    /// per-group diagnostics into a [`crate::telemetry::CostLedger`];
+    /// read it back with [`MultiEngine::profile_snapshot`].
+    pub fn set_profiling(&mut self, on: bool) {
+        if on != self.profile.is_enabled() {
+            self.profile = if on {
+                crate::telemetry::CostLedger::enabled()
+            } else {
+                crate::telemetry::CostLedger::disabled()
+            };
+        }
+    }
+
+    /// The live cost-ledger handle (a cheap clone; inert when profiling
+    /// is off). The heartbeat reporter samples it concurrently with runs.
+    pub fn cost_ledger(&self) -> crate::telemetry::CostLedger {
+        self.profile.clone()
+    }
+
+    /// Snapshot of the cost ledger: per-query deterministic counters plus
+    /// per-group diagnostics. `None` when profiling is disabled.
+    pub fn profile_snapshot(&self) -> Option<crate::telemetry::ProfileSnapshot> {
+        self.profile.snapshot()
+    }
+
     /// Splits the engine into the disjoint borrows the sharded execution
     /// layer ([`crate::shard`]) needs: plan groups go to worker threads,
     /// the driver and interner stay on the document thread, and the
@@ -393,6 +426,7 @@ impl MultiEngine {
             mode: self.mode,
             index: &self.index,
             records: &self.records,
+            profile: self.profile.clone(),
         }
     }
 
@@ -414,6 +448,10 @@ impl MultiEngine {
         let stream = if self.planner.mode() == PlanMode::PrefixShared {
             let pred = (self.mode == DispatchMode::Indexed)
                 .then(|| self.pred_index.as_ref().expect("prefix mode maintains a pred index"));
+            self.shared_scratch.clear();
+            if self.profile.is_enabled() {
+                self.shared_scratch.resize(self.planner.groups().len(), 0);
+            }
             let (trie, groups) = self.planner.run_split();
             trie.begin_document();
             let mut sink = PrefixSink {
@@ -430,6 +468,7 @@ impl MultiEngine {
                 frame_gids: Vec::new(),
                 frame_nodes: Vec::new(),
                 frames: Vec::new(),
+                shared_steps: &mut self.shared_scratch,
             };
             self.driver.run(reader, &mut sink)?
         } else {
@@ -462,6 +501,28 @@ impl MultiEngine {
             telemetry.fold_plan(&self.planner.stats(&self.interner));
             telemetry.add_matches(matches.iter().map(|m| m.len() as u64).sum());
         }
+        if self.profile.is_enabled() {
+            self.profile.add_doc();
+            // Per-query fold mirrors the telemetry discipline: one fold
+            // per subscription from the per-record stats, so the ledger's
+            // deterministic section is invariant across configurations.
+            for (i, r) in self.records.iter().enumerate() {
+                self.profile.fold_query(QueryId(i), &r.text, r.group, &stats[i], &matches[i]);
+            }
+            for (gid, g) in self.planner.groups().iter().enumerate() {
+                if g.is_active() {
+                    self.profile.fold_group(
+                        gid,
+                        g.canonical_key(),
+                        g.subscribers().len() as u64,
+                        g.machine().stats(),
+                    );
+                }
+            }
+            if self.shared_scratch.iter().any(|&n| n > 0) {
+                self.profile.add_shared_steps(&self.shared_scratch);
+            }
+        }
         Ok(MultiOutput {
             matches,
             stats,
@@ -490,6 +551,8 @@ pub(crate) struct ShardParts<'a> {
     /// used by the broadcast sink as an any-shard-interested filter.
     pub(crate) index: &'a DispatchIndex,
     pub(crate) records: &'a [QueryRecord],
+    /// Cloned cost-ledger handle (disabled when profiling is off).
+    pub(crate) profile: crate::telemetry::CostLedger,
 }
 
 /// The multi-query [`EventSink`]: routes each event to the interested
@@ -682,6 +745,9 @@ struct PrefixSink<'a, F: FnMut(QueryId, Match)> {
     frame_nodes: Vec<u32>,
     /// One `(frame_gids offset, frame_nodes offset)` per open element.
     frames: Vec<(u32, u32)>,
+    /// Shared-step billing per routed group (cost attribution); empty
+    /// when profiling is off, indexed by gid otherwise.
+    shared_steps: &'a mut Vec<u64>,
 }
 
 impl<F: FnMut(QueryId, Match)> EventSink for PrefixSink<'_, F> {
@@ -709,16 +775,21 @@ impl<F: FnMut(QueryId, Match)> EventSink for PrefixSink<'_, F> {
             frame_gids,
             frame_nodes,
             frames,
+            shared_steps,
             ..
         } = self;
         pushed.clear();
         trie.advance(sym, event.level, pushed);
         // Expand trie pushes into per-group plans, ascending (gid, node).
         plans.clear();
+        let bill = !shared_steps.is_empty();
         for p in pushed.iter() {
             let depth0 = (p.depth - 1) as usize;
             for &gid in trie.routed(p.node as usize) {
                 plans.push((gid, groups[gid as usize].main_nodes()[depth0], p.ptr));
+                if bill {
+                    shared_steps[gid as usize] += 1;
+                }
             }
         }
         plans.sort_unstable();

@@ -48,7 +48,7 @@ use crate::multi::MultiOutput;
 use crate::plan::TriePush;
 use crate::result::{Match, NodeId, QueryId};
 use crate::stats::{MachineStats, PlanStats, StreamStats};
-use crate::telemetry::{Telemetry, TID_COORDINATOR};
+use crate::telemetry::{Telemetry, TID_COORDINATOR, TID_PRODUCER_BASE};
 
 use super::merge::MatchMerger;
 use super::worker::{EventBatch, Ring, SeqBatch, ShardEvent};
@@ -128,8 +128,11 @@ struct PublishJob {
 /// channel, materializes the shard events, and pushes the batch into
 /// every ring. Runs until the job channel is dropped — publishers always
 /// drain fully, so no published window can go missing (the workers'
-/// reorder stash would wait on it forever).
+/// reorder stash would wait on it forever). `producer` is this thread's
+/// index, used only for its trace lane (`TID_PRODUCER_BASE + producer`,
+/// a range disjoint from the parse workers').
 fn publish_loop(
+    producer: usize,
     jobs: &Mutex<Receiver<PublishJob>>,
     rings: &[Arc<Ring<SeqBatch>>],
     telemetry: &Telemetry,
@@ -139,6 +142,7 @@ fn publish_loop(
         let job = jobs.lock().expect("publisher job lock").recv();
         telemetry.add_elapsed(|r| &r.producer_idle_ns, t_idle);
         let Ok(job) = job else { return };
+        let t_publish = telemetry.timer();
         telemetry.add(|r| &r.producer_batches, 1);
         telemetry.observe(|r| &r.batch_events, job.items.len() as u64);
         let events: EventBatch =
@@ -147,6 +151,12 @@ fn publish_loop(
         for ring in rings {
             ring.push(batch.clone());
         }
+        telemetry.record_span(
+            "publish",
+            "producer",
+            TID_PRODUCER_BASE + producer as u32,
+            t_publish,
+        );
     }
 }
 
@@ -172,8 +182,13 @@ pub(super) fn run_document_overlapped<F: FnMut(QueryId, Match)>(
     let interner = t.interner;
     let filter = t.filter;
     let mut matches: Vec<Vec<Match>> = t.record_groups.iter().map(|_| Vec::new()).collect();
-    let mut merger = MatchMerger::with_telemetry(t.nshards, telemetry.clone());
+    let mut merger =
+        MatchMerger::with_profile(t.nshards, telemetry.clone(), t.profile.is_enabled());
     let mut group_stats: Vec<MachineStats> = vec![MachineStats::default(); t.group_slots];
+    t.shared_scratch.clear();
+    if t.profile.is_enabled() {
+        t.shared_scratch.resize(t.group_slots, 0);
+    }
     let mut group_bytes = 0u64;
     let mut done = 0usize;
     let mut poisoned: Option<usize> = None;
@@ -210,9 +225,9 @@ pub(super) fn run_document_overlapped<F: FnMut(QueryId, Match)>(
     let result: EngineResult<()> = thread::scope(|scope| {
         let job_rx = &job_rx;
         let mut handles = Vec::with_capacity(producers);
-        for _ in 0..producers {
+        for producer in 0..producers {
             let telemetry = telemetry.clone();
-            handles.push(scope.spawn(move || publish_loop(job_rx, rings, &telemetry)));
+            handles.push(scope.spawn(move || publish_loop(producer, job_rx, rings, &telemetry)));
         }
 
         let mut trie = t.trie.as_deref_mut();
@@ -242,6 +257,16 @@ pub(super) fn run_document_overlapped<F: FnMut(QueryId, Match)>(
                         if let Some(tr) = trie.as_deref_mut() {
                             pushed.clear();
                             tr.advance(sym, e.level, &mut pushed);
+                            // Shared trie steps are billed here, on the
+                            // admission walk — the same per-(push, routed
+                            // group) discipline as the pipelined pump.
+                            if !t.shared_scratch.is_empty() {
+                                for p in pushed.iter() {
+                                    for &gid in tr.routed(p.node as usize) {
+                                        t.shared_scratch[gid as usize] += 1;
+                                    }
+                                }
+                            }
                         }
                         if filter.is_some_and(|index| !index.has_element_target(sym)) {
                             debug_assert!(
@@ -334,6 +359,7 @@ pub(super) fn run_document_overlapped<F: FnMut(QueryId, Match)>(
                     &mut group_stats,
                     &mut group_bytes,
                     &mut done,
+                    &t.profile,
                 );
             }
             if poisoned.is_some() {
@@ -378,6 +404,7 @@ pub(super) fn run_document_overlapped<F: FnMut(QueryId, Match)>(
                 &mut group_stats,
                 &mut group_bytes,
                 &mut done,
+                &t.profile,
             ),
             None => {
                 for ring in rings {
@@ -421,6 +448,30 @@ pub(super) fn run_document_overlapped<F: FnMut(QueryId, Match)>(
         }
         telemetry.fold_plan(&plan);
         telemetry.add_matches(matches.iter().map(|m| m.len() as u64).sum());
+    }
+    if t.profile.is_enabled() {
+        t.profile.add_doc();
+        // Identical fold discipline to the pipelined path, so the
+        // ledger's deterministic section is invariant across front-ends.
+        for (i, g) in t.record_groups.iter().enumerate() {
+            t.profile.fold_query(QueryId(i), &t.record_texts[i], *g, &out_stats[i], &matches[i]);
+        }
+        for (gid, canonical) in t.group_canonicals.iter().enumerate() {
+            if let Some(canonical) = canonical {
+                t.profile.fold_group(
+                    gid,
+                    canonical,
+                    t.subscribers[gid].len() as u64,
+                    &group_stats[gid],
+                );
+            }
+        }
+        if t.shared_scratch.iter().any(|&n| n > 0) {
+            t.profile.add_shared_steps(&t.shared_scratch);
+        }
+        for (gid, deliveries, ns) in merger.take_holds() {
+            t.profile.add_hold(gid as usize, deliveries, ns);
+        }
     }
     let par_stats = reader.stats();
     telemetry.fold_par(&par_stats);

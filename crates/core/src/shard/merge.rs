@@ -68,6 +68,12 @@ struct ShardStream {
 pub(crate) struct MatchMerger {
     shards: Vec<ShardStream>,
     telemetry: Telemetry,
+    /// Cost-attribution mode: stamp arrivals and accumulate per-group
+    /// hold time even when the metrics registry is disabled.
+    profiled: bool,
+    /// Per-group `(deliveries, hold_ns)` accumulated on release while
+    /// profiling; drained per document by [`MatchMerger::take_holds`].
+    holds: std::collections::BTreeMap<u32, (u64, u64)>,
 }
 
 impl MatchMerger {
@@ -75,19 +81,39 @@ impl MatchMerger {
     /// numbers are 1-based, so nothing is releasable yet).
     #[cfg(test)]
     pub(crate) fn new(nshards: usize) -> Self {
-        MatchMerger::with_telemetry(nshards, Telemetry::disabled())
+        MatchMerger::with_profile(nshards, Telemetry::disabled(), false)
     }
 
     /// A merger that records hold depth, release latency and release
-    /// counts into `telemetry`.
-    pub(crate) fn with_telemetry(nshards: usize, telemetry: Telemetry) -> Self {
-        MatchMerger { shards: (0..nshards).map(|_| ShardStream::default()).collect(), telemetry }
+    /// counts into `telemetry`; with `profiled` it additionally
+    /// attributes release counts and hold latency to plan groups for the
+    /// cost ledger, independent of whether the registry is enabled.
+    pub(crate) fn with_profile(nshards: usize, telemetry: Telemetry, profiled: bool) -> Self {
+        MatchMerger {
+            shards: (0..nshards).map(|_| ShardStream::default()).collect(),
+            telemetry,
+            profiled,
+            holds: std::collections::BTreeMap::new(),
+        }
+    }
+
+    /// Drains the per-group `(deliveries, hold_ns)` attribution gathered
+    /// since the last call. Empty unless profiling was requested.
+    pub(crate) fn take_holds(&mut self) -> Vec<(u32, u64, u64)> {
+        let out = self.holds.iter().map(|(&gid, &(n, ns))| (gid, n, ns)).collect();
+        self.holds.clear();
+        out
     }
 
     /// Ingests one worker report: `matches` in the shard's emission order
     /// plus the shard's new watermark. Watermarks only move forward.
     pub(crate) fn push(&mut self, shard: usize, matches: Vec<TaggedMatch>, through_seq: u64) {
-        let arrived = self.telemetry.timer();
+        let arrived = match self.telemetry.timer() {
+            t @ Some(_) => t,
+            // The ledger needs hold latency even without the registry.
+            None if self.profiled => Some(Instant::now()),
+            None => None,
+        };
         let s = &mut self.shards[shard];
         debug_assert!(
             matches.windows(2).all(|w| (w[0].seq, w[0].gid) <= (w[1].seq, w[1].gid)),
@@ -119,6 +145,12 @@ impl MatchMerger {
                     let (t, arrived) = self.shards[i].queue.pop_front().expect("head exists");
                     self.telemetry.add(|r| &r.merge_released, 1);
                     self.telemetry.observe_elapsed(|r| &r.merge_release_ns, arrived);
+                    if self.profiled {
+                        let held = arrived.map(|a| a.elapsed().as_nanos() as u64).unwrap_or(0);
+                        let e = self.holds.entry(t.gid).or_insert((0, 0));
+                        e.0 += 1;
+                        e.1 += held;
+                    }
                     emit(t);
                 }
                 _ => break,

@@ -178,6 +178,26 @@ impl ShardedEngine {
         self.multi.set_telemetry(telemetry);
     }
 
+    /// Enables (or disables) per-subscription cost attribution (see
+    /// [`MultiEngine::set_profiling`]). Sharded runs additionally
+    /// attribute sampled worker self-time, shared trie steps billed on
+    /// the document thread, and merge hold latency to each plan group.
+    pub fn set_profiling(&mut self, on: bool) {
+        self.multi.set_profiling(on);
+    }
+
+    /// Snapshot of the cost ledger — deterministic per-query counters
+    /// plus per-group diagnostics (self-time, shared steps, merge holds).
+    /// `None` when profiling is disabled.
+    pub fn group_costs(&self) -> Option<crate::telemetry::ProfileSnapshot> {
+        self.multi.profile_snapshot()
+    }
+
+    /// The live cost-ledger handle (see [`MultiEngine::cost_ledger`]).
+    pub fn cost_ledger(&self) -> crate::telemetry::CostLedger {
+        self.multi.cost_ledger()
+    }
+
     /// Streams one document; a one-document [`ShardedEngine::session`].
     /// With one shard this *is* [`MultiEngine::run`].
     pub fn run<E: EventSource, F: FnMut(QueryId, Match)>(
@@ -246,6 +266,30 @@ impl ShardedEngine {
         let subscribers: Vec<Vec<QueryId>> =
             parts.planner.groups().iter().map(|g| g.subscribers().to_vec()).collect();
         let group_slots = subscribers.len();
+
+        // Cost attribution: the ledger folds on the document thread at
+        // end of document, exactly like the single-threaded fold site, so
+        // the per-query counters cannot depend on the shard count. The
+        // query texts and group canonical keys are snapshotted up front
+        // (the plan is frozen for the session); both stay empty when
+        // profiling is off.
+        let profile = parts.profile.clone();
+        let profiled = profile.is_enabled();
+        let record_texts: Vec<String> = if profiled {
+            parts.records.iter().map(|r| r.text.clone()).collect()
+        } else {
+            Vec::new()
+        };
+        let group_canonicals: Vec<Option<String>> = if profiled {
+            parts
+                .planner
+                .groups()
+                .iter()
+                .map(|g| g.is_active().then(|| g.canonical_key().to_string()))
+                .collect()
+        } else {
+            Vec::new()
+        };
 
         // Partition the active groups: round-robin in ascending gid order.
         // Surplus workers would own zero machines yet still pop and
@@ -322,7 +366,9 @@ impl ShardedEngine {
                 let fault =
                     injected_fault.and_then(|(s, seq)| if s == shard { Some(seq) } else { None });
                 scope.spawn(move || {
-                    run_worker(shard, groups, use_index, nsymbols, prefix, fault, ring, tx)
+                    run_worker(
+                        shard, groups, use_index, nsymbols, prefix, fault, profiled, ring, tx,
+                    )
                 });
             }
             drop(tx);
@@ -344,6 +390,10 @@ impl ShardedEngine {
                     nshards,
                     plan,
                     plan_overhead,
+                    profile,
+                    record_texts,
+                    group_canonicals,
+                    shared_scratch: Vec::new(),
                     poisoned: None,
                 })),
             };
@@ -473,6 +523,16 @@ struct ThreadedSession<'a> {
     plan: PlanStats,
     /// The non-group share of `plan.plan_bytes` (trie, interner).
     plan_overhead: u64,
+    /// Cost ledger handle: disabled (inert) unless profiling is on.
+    profile: crate::telemetry::CostLedger,
+    /// Query text per registration record (empty unless profiling).
+    record_texts: Vec<String>,
+    /// Canonical step key per group slot, `None` for inactive slots
+    /// (empty unless profiling).
+    group_canonicals: Vec<Option<String>>,
+    /// Per-group shared trie-step billing scratch for the document
+    /// thread's trie walk (sized per document while profiling).
+    shared_scratch: Vec<u64>,
     /// `Some(shard)` once a worker died mid-document: the session is
     /// poisoned and every subsequent document fails fast (`usize::MAX`
     /// when the failing shard is unknown — the report channel died).
@@ -490,8 +550,13 @@ impl ThreadedSession<'_> {
         }
         let telemetry = self.driver.telemetry();
         let mut matches: Vec<Vec<Match>> = self.record_groups.iter().map(|_| Vec::new()).collect();
-        let mut merger = MatchMerger::with_telemetry(self.nshards, telemetry.clone());
+        let mut merger =
+            MatchMerger::with_profile(self.nshards, telemetry.clone(), self.profile.is_enabled());
         let mut group_stats: Vec<MachineStats> = vec![MachineStats::default(); self.group_slots];
+        self.shared_scratch.clear();
+        if self.profile.is_enabled() {
+            self.shared_scratch.resize(self.group_slots, 0);
+        }
         let mut group_bytes = 0u64;
         let mut done = 0usize;
         if let Some(trie) = &mut self.trie {
@@ -513,6 +578,8 @@ impl ThreadedSession<'_> {
                 group_bytes: &mut group_bytes,
                 done: &mut done,
                 poisoned: &mut self.poisoned,
+                profile: &self.profile,
+                shared_steps: &mut self.shared_scratch,
                 seq: 0,
                 after: 0,
                 open_names: Vec::new(),
@@ -586,6 +653,37 @@ impl ThreadedSession<'_> {
             telemetry.fold_plan(&plan);
             telemetry.add_matches(matches.iter().map(|m| m.len() as u64).sum());
         }
+        if self.profile.is_enabled() {
+            self.profile.add_doc();
+            // Identical fold discipline to `MultiEngine::run`: one fold
+            // per subscription from the per-record stats, so the ledger's
+            // deterministic section is invariant across shard counts.
+            for (i, g) in self.record_groups.iter().enumerate() {
+                self.profile.fold_query(
+                    QueryId(i),
+                    &self.record_texts[i],
+                    *g,
+                    &stats[i],
+                    &matches[i],
+                );
+            }
+            for (gid, canonical) in self.group_canonicals.iter().enumerate() {
+                if let Some(canonical) = canonical {
+                    self.profile.fold_group(
+                        gid,
+                        canonical,
+                        self.subscribers[gid].len() as u64,
+                        &group_stats[gid],
+                    );
+                }
+            }
+            if self.shared_scratch.iter().any(|&n| n > 0) {
+                self.profile.add_shared_steps(&self.shared_scratch);
+            }
+            for (gid, deliveries, ns) in merger.take_holds() {
+                self.profile.add_hold(gid as usize, deliveries, ns);
+            }
+        }
         Ok(MultiOutput {
             matches,
             stats,
@@ -623,6 +721,7 @@ pub(super) fn ingest_report<F: FnMut(QueryId, Match)>(
     group_stats: &mut [MachineStats],
     group_bytes: &mut u64,
     done: &mut usize,
+    profile: &crate::telemetry::CostLedger,
 ) {
     if report.poisoned {
         for ring in rings {
@@ -636,6 +735,7 @@ pub(super) fn ingest_report<F: FnMut(QueryId, Match)>(
     }
     if let Some(doc_stats) = report.doc_stats {
         for snapshot in doc_stats {
+            profile.add_self_ns(snapshot.gid, snapshot.self_ns);
             group_stats[snapshot.gid] = snapshot.stats;
             *group_bytes += snapshot.approx_bytes;
         }
@@ -685,6 +785,14 @@ struct DocPump<'a, F: FnMut(QueryId, Match)> {
     done: &'a mut usize,
     /// Set when a worker dies mid-document (see [`ingest_report`]).
     poisoned: &'a mut Option<usize>,
+    /// Cost ledger handle, folded through [`ingest_report`] (self-time
+    /// from DocEnd snapshots); inert when profiling is off.
+    profile: &'a crate::telemetry::CostLedger,
+    /// Per-group shared trie-step billing: non-empty only while
+    /// profiling under prefix sharing; the document thread's trie walk
+    /// bills one shared step per `(push, routed group)` pair, mirroring
+    /// the single-threaded `PrefixSink`.
+    shared_steps: &'a mut Vec<u64>,
     /// Sequence number of the last event pushed (1-based).
     seq: u64,
     /// Highest sequence number covered by already-flushed batches: the
@@ -725,6 +833,7 @@ impl<F: FnMut(QueryId, Match)> DocPump<'_, F> {
             self.group_stats,
             self.group_bytes,
             self.done,
+            self.profile,
         );
     }
 
@@ -775,6 +884,13 @@ impl<F: FnMut(QueryId, Match)> EventSink for DocPump<'_, F> {
         if let Some(trie) = &mut self.trie {
             self.pushed.clear();
             trie.advance(sym, event.level, &mut self.pushed);
+            if !self.shared_steps.is_empty() {
+                for p in self.pushed.iter() {
+                    for &gid in trie.routed(p.node as usize) {
+                        self.shared_steps[gid as usize] += 1;
+                    }
+                }
+            }
         }
         // Sequence numbers advance for *every* event (they are the merge
         // key), but payloads for events no shard would dispatch are never

@@ -122,6 +122,16 @@ pub struct MachineStats {
     pub pops: u64,
     /// Match-flag bits set on parent entries (the paper's "bookkeeping").
     pub flag_propagations: u64,
+    /// Predicate evaluations: attribute checks at push time, text
+    /// predicate probes on character events, and value comparisons at pop
+    /// time. Counted per (entry, predicate) on the same events in every
+    /// plan mode, so the value is configuration-invariant.
+    pub predicate_evals: u64,
+    /// Element events that engaged this machine with a non-empty push
+    /// plan — the machine's share of dispatch traffic. Scan-mode calls
+    /// with an empty plan are not hits, so Indexed and Scan dispatch
+    /// agree by construction.
+    pub dispatch_hits: u64,
     /// Candidates created (self, attribute, text).
     pub candidates_created: u64,
     /// Candidates forwarded one query level up.
@@ -222,11 +232,14 @@ impl MachineStats {
     /// Human-readable one-line summary.
     pub fn summary(&self) -> String {
         format!(
-            "pushes={} pops={} flags={} cands(created={} fwd={} inherit={} drop={}) \
+            "pushes={} pops={} flags={} preds={} hits={} \
+             cands(created={} fwd={} inherit={} drop={}) \
              emitted={} peak_entries={} peak_cands={} peak_bytes={}",
             self.pushes,
             self.pops,
             self.flag_propagations,
+            self.predicate_evals,
+            self.dispatch_hits,
             self.candidates_created,
             self.candidates_forwarded,
             self.candidates_inherited,

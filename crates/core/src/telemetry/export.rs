@@ -194,9 +194,11 @@ pub fn trace_json(spans: &[Span]) -> String {
 }
 
 fn thread_label(tid: u32) -> String {
-    use super::span::{TID_COORDINATOR, TID_PARSE_BASE, TID_SHARD_BASE};
+    use super::span::{TID_COORDINATOR, TID_PARSE_BASE, TID_PRODUCER_BASE, TID_SHARD_BASE};
     if tid == TID_COORDINATOR {
         "coordinator".to_string()
+    } else if tid >= TID_PRODUCER_BASE {
+        format!("producer-{}", tid - TID_PRODUCER_BASE)
     } else if tid >= TID_PARSE_BASE {
         format!("parse-worker-{}", tid - TID_PARSE_BASE)
     } else {
@@ -238,7 +240,7 @@ mod tests {
         let det = snap.deterministic_json();
         assert!(det.contains("vitex_stream_events_total"));
         assert!(!det.contains("vitex_worker_busy_ns_total"));
-        assert!(!det.contains("dispatch"));
+        assert!(!det.contains("vitex_dispatch_ns"));
     }
 
     #[test]
@@ -265,5 +267,24 @@ mod tests {
         assert!(json.contains("\"name\":\"shard-worker-0\""));
         assert!(json.contains("\"ts\":1.000"));
         assert!(json.contains("\"dur\":5.000"));
+    }
+
+    #[test]
+    fn producer_lane_is_distinct_from_parse_workers() {
+        use super::super::span::{TID_PARSE_BASE, TID_PRODUCER_BASE};
+        let spans = vec![
+            Span { name: "chunk", cat: "parse", tid: TID_PARSE_BASE, start_ns: 10, dur_ns: 5 },
+            Span {
+                name: "publish",
+                cat: "producer",
+                tid: TID_PRODUCER_BASE + 1,
+                start_ns: 20,
+                dur_ns: 5,
+            },
+        ];
+        let json = trace_json(&spans);
+        assert!(json.contains("\"name\":\"parse-worker-0\""));
+        assert!(json.contains("\"name\":\"producer-1\""));
+        assert!(!json.contains(&format!("\"name\":\"parse-worker-{}\"", TID_PRODUCER_BASE - 64)));
     }
 }

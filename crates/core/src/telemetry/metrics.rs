@@ -161,6 +161,11 @@ pub struct Registry {
     pub machine_pops: Counter,
     /// Match-flag propagations (`vitex_machine_flag_propagations_total`).
     pub machine_flag_propagations: Counter,
+    /// Predicate evaluations (`vitex_machine_predicate_evals_total`).
+    pub machine_predicate_evals: Counter,
+    /// Element events that engaged a machine with a non-empty push plan
+    /// (`vitex_machine_dispatch_hits_total`).
+    pub machine_dispatch_hits: Counter,
     /// Candidates created (`vitex_machine_candidates_created_total`).
     pub machine_candidates_created: Counter,
     /// Candidates forwarded (`vitex_machine_candidates_forwarded_total`).
@@ -322,6 +327,8 @@ impl Registry {
             det("vitex_machine_pushes_total", &self.machine_pushes),
             det("vitex_machine_pops_total", &self.machine_pops),
             det("vitex_machine_flag_propagations_total", &self.machine_flag_propagations),
+            det("vitex_machine_predicate_evals_total", &self.machine_predicate_evals),
+            det("vitex_machine_dispatch_hits_total", &self.machine_dispatch_hits),
             det("vitex_machine_candidates_created_total", &self.machine_candidates_created),
             det("vitex_machine_candidates_forwarded_total", &self.machine_candidates_forwarded),
             det("vitex_machine_candidates_discarded_total", &self.machine_candidates_discarded),

@@ -20,11 +20,15 @@
 
 pub mod export;
 pub mod metrics;
+pub mod profile;
 pub mod span;
 
 pub use export::{trace_json, Snapshot, SNAPSHOT_SCHEMA};
 pub use metrics::{Counter, CounterRow, Gauge, GaugeRow, Histogram, HistogramRow, Registry};
-pub use span::{Span, SpanRecorder, TID_COORDINATOR, TID_PARSE_BASE, TID_SHARD_BASE};
+pub use profile::{CostLedger, GroupCost, Heartbeat, ProfileSnapshot, QueryCost, PROFILE_SCHEMA};
+pub use span::{
+    Span, SpanRecorder, TID_COORDINATOR, TID_PARSE_BASE, TID_PRODUCER_BASE, TID_SHARD_BASE,
+};
 
 use crate::stats::{MachineStats, PlanStats, StreamStats};
 use std::sync::Arc;
@@ -203,6 +207,8 @@ impl Telemetry {
             r.machine_pushes.add(s.pushes);
             r.machine_pops.add(s.pops);
             r.machine_flag_propagations.add(s.flag_propagations);
+            r.machine_predicate_evals.add(s.predicate_evals);
+            r.machine_dispatch_hits.add(s.dispatch_hits);
             r.machine_candidates_created.add(s.candidates_created);
             r.machine_candidates_forwarded.add(s.candidates_forwarded);
             r.machine_candidates_discarded.add(s.candidates_discarded);

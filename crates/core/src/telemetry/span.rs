@@ -19,6 +19,11 @@ pub const TID_COORDINATOR: u32 = 1;
 pub const TID_SHARD_BASE: u32 = 2;
 /// Base trace thread-id for parse workers (`TID_PARSE_BASE + worker`).
 pub const TID_PARSE_BASE: u32 = 64;
+/// Base trace thread-id for overlapped-front-end publisher threads
+/// (`TID_PRODUCER_BASE + producer`). Deliberately far above
+/// [`TID_PARSE_BASE`]: producers used to share the parse range, which
+/// interleaved their lanes with parse workers in trace viewers.
+pub const TID_PRODUCER_BASE: u32 = 1024;
 
 /// One completed span, timestamped relative to the telemetry epoch.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

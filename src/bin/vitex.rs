@@ -24,7 +24,7 @@ use std::io::{self, BufReader, Read, Write};
 use std::process::ExitCode;
 use std::sync::Arc;
 
-use vitex_core::telemetry::{trace_json, Telemetry};
+use vitex_core::telemetry::{trace_json, Heartbeat, Telemetry};
 use vitex_core::{
     DispatchMode, Engine, EvalMode, Match, MatchKind, MultiOutput, PlanMode, QueryId, ShardedEngine,
 };
@@ -51,6 +51,10 @@ struct Options {
     metrics: bool,
     metrics_json: Option<String>,
     trace_out: Option<String>,
+    profile: bool,
+    profile_json: Option<String>,
+    /// Heartbeat period in seconds (0 = off).
+    heartbeat: u64,
 }
 
 impl Options {
@@ -58,6 +62,14 @@ impl Options {
     /// exactly then; otherwise every instrumentation point is a no-op).
     fn telemetry_requested(&self) -> bool {
         self.metrics || self.metrics_json.is_some() || self.trace_out.is_some()
+    }
+
+    /// Whether cost attribution was requested (the ledger is enabled
+    /// exactly then). Profiling runs always route through the pub/sub
+    /// engine — the ledger lives there — which is output-transparent:
+    /// single-query output keeps the single-query format.
+    fn profiling_requested(&self) -> bool {
+        self.profile || self.profile_json.is_some() || self.heartbeat > 0
     }
 
     /// Whether the overlapped front-end runs: parse workers feed shard
@@ -90,6 +102,9 @@ const FLAGS: &[&str] = &[
     "--metrics",
     "--metrics-json",
     "--trace-out",
+    "--profile",
+    "--profile-json",
+    "--heartbeat",
     "-h",
     "--help",
 ];
@@ -122,6 +137,10 @@ fn usage() -> ! {
          \x20 --metrics              print a human-readable telemetry summary on stderr after the run\n\
          \x20 --metrics-json <PATH>  write a metrics snapshot (vitex.metrics.v1 JSON) to PATH\n\
          \x20 --trace-out <PATH>     write stage spans as Chrome trace-event JSON (Perfetto-loadable) to PATH\n\
+         \x20 --profile              print a per-query cost-attribution table (top 10 by work) on stderr\n\
+         \x20 --profile-json <PATH>  write the cost ledger (vitex.profile.v1 JSON) to PATH\n\
+         \x20 --heartbeat <SECS>     print a live heartbeat (docs/sec, ring occupancy, hot groups)\n\
+         \x20                        on stderr every SECS seconds while the run is in flight\n\
          \x20 -h, --help             show this help and exit\n\
          \n\
          examples:\n\
@@ -186,6 +205,9 @@ fn parse_args() -> Options {
         metrics: false,
         metrics_json: None,
         trace_out: None,
+        profile: false,
+        profile_json: None,
+        heartbeat: 0,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -219,6 +241,15 @@ fn parse_args() -> Options {
             "--trace-out" => match args.next() {
                 Some(p) => opts.trace_out = Some(p),
                 None => usage(),
+            },
+            "--profile" => opts.profile = true,
+            "--profile-json" => match args.next() {
+                Some(p) => opts.profile_json = Some(p),
+                None => usage(),
+            },
+            "--heartbeat" => match args.next().and_then(|n| n.parse::<u64>().ok()) {
+                Some(n) if n >= 1 => opts.heartbeat = n,
+                _ => usage(),
             },
             "--help" | "-h" => usage(),
             // A lone "-" stays positional (stdin convention); anything else
@@ -385,6 +416,17 @@ fn finish_parse_stats(reader: &AnyReader, opts: &Options, telemetry: &Telemetry)
     }
 }
 
+/// Writes one export artifact, mapping any I/O failure to the clean
+/// usage-error exit every exporting flag shares (`--metrics-json`,
+/// `--trace-out`, `--profile-json`): the path and OS error on stderr,
+/// exit code 2.
+fn write_export(path: &str, contents: &str) -> Result<(), ExitCode> {
+    std::fs::write(path, contents).map_err(|e| {
+        eprintln!("vitex: {path}: {e}");
+        ExitCode::from(2)
+    })
+}
+
 /// Writes the requested telemetry exports (`--metrics`, `--metrics-json`,
 /// `--trace-out`). A no-op when telemetry is disabled.
 fn export_telemetry(opts: &Options, telemetry: &Telemetry) -> Result<(), ExitCode> {
@@ -393,17 +435,24 @@ fn export_telemetry(opts: &Options, telemetry: &Telemetry) -> Result<(), ExitCod
         eprint!("{}", snapshot.human_summary());
     }
     if let Some(path) = &opts.metrics_json {
-        if let Err(e) = std::fs::write(path, snapshot.to_json()) {
-            eprintln!("vitex: {path}: {e}");
-            return Err(ExitCode::from(2));
-        }
+        write_export(path, &snapshot.to_json())?;
     }
     if let Some(path) = &opts.trace_out {
         let spans = telemetry.spans().unwrap_or_default();
-        if let Err(e) = std::fs::write(path, trace_json(&spans)) {
-            eprintln!("vitex: {path}: {e}");
-            return Err(ExitCode::from(2));
-        }
+        write_export(path, &trace_json(&spans))?;
+    }
+    Ok(())
+}
+
+/// Emits the requested profiling outputs (`--profile` table on stderr,
+/// `--profile-json` ledger export). A no-op when profiling is disabled.
+fn export_profile(opts: &Options, engine: &ShardedEngine) -> Result<(), ExitCode> {
+    let Some(snapshot) = engine.group_costs() else { return Ok(()) };
+    if opts.profile {
+        eprint!("{}", snapshot.table(10));
+    }
+    if let Some(path) = &opts.profile_json {
+        write_export(path, &snapshot.to_json())?;
     }
     Ok(())
 }
@@ -474,6 +523,7 @@ fn run_multi(opts: &Options, trees: &[QueryTree], telemetry: &Telemetry) -> Exit
     };
     let mut multi = ShardedEngine::with_options(opts.shards, dispatch, plan);
     multi.set_telemetry(telemetry.clone());
+    multi.set_profiling(opts.profiling_requested());
     for tree in trees {
         if let Err(e) = multi.add_tree(tree) {
             eprintln!("vitex: {e}");
@@ -501,6 +551,15 @@ fn run_multi(opts: &Options, trees: &[QueryTree], telemetry: &Telemetry) -> Exit
     // The parallel-parse statistics of whichever front-end ran, for the
     // `--stats` par line (`None` for the sequential reader).
     let mut par: Option<ParStats> = None;
+    // The live heartbeat reporter spans exactly the run below; dropping
+    // it joins the reporter thread before any post-run export prints.
+    let heartbeat = (opts.heartbeat > 0).then(|| {
+        Heartbeat::start(
+            std::time::Duration::from_secs(opts.heartbeat),
+            multi.cost_ledger(),
+            telemetry.clone(),
+        )
+    });
     let result: Result<MultiOutput, _> = if opts.overlapped() {
         // Overlapped front-end: parse workers and publisher threads feed
         // the shard rings; the call folds its own telemetry.
@@ -531,6 +590,7 @@ fn run_multi(opts: &Options, trees: &[QueryTree], telemetry: &Telemetry) -> Exit
             Err(code) => return code,
         }
     };
+    drop(heartbeat);
     match result {
         Ok(output) => {
             if opts.count {
@@ -563,6 +623,9 @@ fn run_multi(opts: &Options, trees: &[QueryTree], telemetry: &Telemetry) -> Exit
                 }
             }
             if let Err(code) = export_telemetry(opts, telemetry) {
+                return code;
+            }
+            if let Err(code) = export_profile(opts, &multi) {
                 return code;
             }
             if counts.iter().any(|&c| c > 0) {
@@ -602,8 +665,9 @@ fn main() -> ExitCode {
     // `--prefix-sharing` is a plan-mode knob of the multi-query engine;
     // like `--shards`, it must never change the single-query output
     // format, so a single query routes through the (unprefixed) pub/sub
-    // path.
-    if trees.len() == 1 && opts.shards == 1 && !opts.prefix_sharing {
+    // path. Profiling lives on the pub/sub engine too — also
+    // output-transparent for a single query.
+    if trees.len() == 1 && opts.shards == 1 && !opts.prefix_sharing && !opts.profiling_requested() {
         run_single(&opts, &trees[0], &telemetry)
     } else {
         if opts.eager {
@@ -611,5 +675,28 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
         run_multi(&opts, &trees, &telemetry)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_export_maps_unwritable_path_to_usage_error() {
+        // A path under a directory that cannot exist: the helper must
+        // surface the failure as the clean exit-2 result every exporting
+        // flag shares, not a panic.
+        let result = write_export("/nonexistent-vitex-dir/sub/out.json", "{}");
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn write_export_writes_the_contents() {
+        let path = std::env::temp_dir().join("vitex-write-export-test.json");
+        let path = path.to_str().expect("utf-8 temp path").to_string();
+        assert!(write_export(&path, "{\"ok\":true}").is_ok());
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "{\"ok\":true}");
+        let _ = std::fs::remove_file(&path);
     }
 }

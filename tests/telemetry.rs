@@ -11,7 +11,7 @@
 //! dependency) and must round-trip the counter values the engine reported
 //! through `MultiOutput`.
 
-use vitex::core::telemetry::{trace_json, Telemetry};
+use vitex::core::telemetry::{trace_json, ProfileSnapshot, Telemetry};
 use vitex::core::{DispatchMode, MultiOutput, PlanMode, ShardedEngine};
 use vitex::xmlgen::random::{self, RandomConfig};
 use vitex::xmlsax::{ParallelConfig, ParallelReader, XmlReader};
@@ -252,6 +252,146 @@ fn disabled_telemetry_snapshots_nothing() {
     engine.add_query("//a").unwrap();
     let out = engine.run(XmlReader::from_str("<a><a/></a>"), |_, _| {}).unwrap();
     assert_eq!(out.matches[0].len(), 2);
+}
+
+// ---- cost-attribution (profile) battery ----
+
+/// Runs one configuration with profiling enabled and returns the ledger
+/// snapshot. `overlapped: Some(threads)` routes through the overlapped
+/// front-end instead of the sequential reader.
+fn run_profiled(
+    trees: &[QueryTree],
+    xml: &str,
+    plan: PlanMode,
+    dispatch: DispatchMode,
+    shards: usize,
+    overlapped: Option<usize>,
+) -> ProfileSnapshot {
+    let mut engine = ShardedEngine::with_options(shards, dispatch, plan);
+    engine.set_profiling(true);
+    for tree in trees {
+        engine.add_tree(tree).expect("registrable");
+    }
+    match overlapped {
+        Some(threads) => {
+            engine
+                .run_overlapped(xml.as_bytes().to_vec(), par_config(threads), |_, _| {})
+                .expect("overlapped run");
+        }
+        None => {
+            engine.run(XmlReader::from_str(xml), |_, _| {}).expect("run");
+        }
+    }
+    engine.group_costs().expect("profiling enabled")
+}
+
+#[test]
+fn profile_counters_are_invariant_across_every_configuration() {
+    // Unlike the metrics registry — whose deterministic subset includes
+    // plan-shape counters and is therefore compared within a plan mode —
+    // the ledger's per-query section folds once per subscription, so it
+    // must be byte-identical across dispatch × plan × shard × front-end:
+    // ONE reference per (document, query set), full stop.
+    for (doc_seed, query_seed) in [(11u64, 5u64), (42, 9)] {
+        let xml = random::to_string(&RandomConfig::seeded(doc_seed));
+        let trees = query_set(query_seed);
+        let mut reference: Option<String> = None;
+        let mut check = |snap: ProfileSnapshot, label: String| {
+            let json = snap.deterministic_json();
+            assert_json(&json);
+            match &reference {
+                None => reference = Some(json),
+                Some(r) => assert_eq!(
+                    &json, r,
+                    "doc_seed={doc_seed} query_seed={query_seed} {label}: per-query \
+                     profile counters must be byte-identical across configurations"
+                ),
+            }
+        };
+        for plan in [PlanMode::Unshared, PlanMode::Shared, PlanMode::PrefixShared] {
+            for dispatch in [DispatchMode::Indexed, DispatchMode::Scan] {
+                for &shards in SHARDS {
+                    check(
+                        run_profiled(&trees, &xml, plan, dispatch, shards, None),
+                        format!("{plan:?}/{dispatch:?}/shards={shards}"),
+                    );
+                }
+            }
+        }
+        for &shards in SHARDS {
+            check(
+                run_profiled(
+                    &trees,
+                    &xml,
+                    PlanMode::Shared,
+                    DispatchMode::Indexed,
+                    shards,
+                    Some(2),
+                ),
+                format!("overlapped(2)/shards={shards}"),
+            );
+        }
+    }
+}
+
+#[test]
+fn profile_ranking_is_stable_across_shard_counts() {
+    let xml = random::to_string(&RandomConfig::seeded(17));
+    let trees = query_set(12);
+    let rank = |shards: usize| -> Vec<(usize, u64)> {
+        let snap =
+            run_profiled(&trees, &xml, PlanMode::Shared, DispatchMode::Indexed, shards, None);
+        snap.top_queries(trees.len()).iter().map(|q| (q.id, q.work())).collect()
+    };
+    let reference = rank(1);
+    assert!(!reference.is_empty());
+    for &shards in &SHARDS[1..] {
+        assert_eq!(rank(shards), reference, "top-k order must not depend on the shard count");
+    }
+}
+
+#[test]
+fn profile_accumulates_across_session_documents() {
+    let mut engine = ShardedEngine::new(2);
+    engine.set_profiling(true);
+    engine.add_query("//a").unwrap();
+    engine
+        .session(|session| {
+            session.run_document(XmlReader::from_str("<a><a/></a>"), |_, _| {})?;
+            session.run_document(XmlReader::from_str("<r><a/></r>"), |_, _| {})?;
+            Ok(())
+        })
+        .unwrap();
+    let snap = engine.group_costs().expect("profiling enabled");
+    assert_eq!(snap.docs, 2);
+    assert_eq!(snap.queries.len(), 1);
+    assert_eq!(snap.queries[0].matches, 3, "2 matches from doc 1 + 1 from doc 2");
+    assert!(snap.queries[0].pushes >= 3);
+}
+
+#[test]
+fn profile_full_export_is_valid_json_with_group_diagnostics() {
+    let xml = random::to_string(&RandomConfig::seeded(33));
+    let trees = query_set(6);
+    let snap = run_profiled(&trees, &xml, PlanMode::PrefixShared, DispatchMode::Indexed, 4, None);
+    let json = snap.to_json();
+    assert_json(&json);
+    assert!(json.starts_with("{\"schema\":\"vitex.profile.v1\""));
+    assert!(json.contains("\"groups\":["));
+    assert!(json.contains("\"shared_steps\":"));
+    // The deterministic export is a strict prefix-section of the full one:
+    // same docs, same queries array, no groups.
+    let det = snap.deterministic_json();
+    assert_json(&det);
+    assert!(!det.contains("\"groups\""));
+}
+
+#[test]
+fn disabled_profiling_snapshots_nothing() {
+    let mut engine = ShardedEngine::new(2);
+    engine.add_query("//a").unwrap();
+    engine.run(XmlReader::from_str("<a><a/></a>"), |_, _| {}).unwrap();
+    assert!(engine.group_costs().is_none());
 }
 
 // ---- minimal JSON syntax checker (no serde in the workspace) ----
