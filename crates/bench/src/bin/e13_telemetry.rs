@@ -164,6 +164,49 @@ fn main() {
             );
         }
     }
+    // Per-shard attributed cost: join the cost ledger's per-group work
+    // counters against the placement snapshot (which shard each group
+    // slot is assigned to) from a warm profiled session. This is the
+    // operator view behind `vitex_shard_imbalance`: not just *that* the
+    // load is skewed, but which shard carries which groups' bill.
+    let shards = 4usize;
+    let mut engine = ShardedEngine::with_options(shards, DispatchMode::Indexed, PlanMode::Shared);
+    engine.set_profiling(true);
+    for q in &queries {
+        engine.add_query(q).expect("valid query");
+    }
+    let placement = engine.placement();
+    let snap = engine
+        .session(|session| {
+            for _ in 0..2 {
+                session.run_document(XmlReader::from_str(&xml), |_, _| {})?;
+            }
+            Ok(session.placement_snapshot())
+        })
+        .expect("profiled session");
+    let ledger = engine.group_costs().expect("profiling enabled");
+    let mut per_shard = vec![(0usize, 0u64); shards];
+    for g in &ledger.groups {
+        if let Some(Some(s)) = snap.shard_of.get(g.gid).copied() {
+            per_shard[s].0 += 1;
+            per_shard[s].1 += g.work();
+        }
+    }
+    let total_work: u64 = per_shard.iter().map(|&(_, w)| w).sum();
+    println!(
+        "\nper-shard attributed cost ({shards} shards, placement={placement:?}, \
+         repartitions={}, imbalance={} millis):",
+        snap.repartitions,
+        snap.last_imbalance_millis.map_or_else(|| "-".into(), |m| m.to_string()),
+    );
+    println!("{:>6} | {:>7} | {:>12} | {:>6}", "shard", "groups", "work", "share");
+    for (s, &(groups, work)) in per_shard.iter().enumerate() {
+        println!(
+            "{s:>6} | {groups:>7} | {work:>12} | {:>5.1}%",
+            work as f64 / total_work.max(1) as f64 * 100.0
+        );
+    }
+
     println!(
         "\nshape check: the 1-shard row has zero ring-wait and merge-hold\n\
          (inline delegation); the sharded rows attribute wall-clock to\n\

@@ -90,6 +90,6 @@ pub use machine::TwigM;
 pub use multi::{DispatchMode, MultiEngine, MultiOutput};
 pub use plan::{PlanGroup, PlanMode, QueryPlanner};
 pub use result::{Match, MatchKind, QueryId};
-pub use shard::{ShardSession, ShardedEngine};
+pub use shard::{Placement, PlacementSnapshot, ShardSession, ShardedEngine};
 pub use stats::{MachineStats, PlanStats, StreamStats};
 pub use telemetry::{Snapshot, Telemetry};

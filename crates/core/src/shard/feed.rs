@@ -213,7 +213,8 @@ pub(super) fn run_document_overlapped<F: FnMut(QueryId, Match)>(
     // FIFO then guarantees each worker resets its document state before
     // it sees any of this document's windows, whatever order the racing
     // publishers deliver them in.
-    let doc_start_events: EventBatch = vec![ShardEvent::DocStart].into();
+    let doc_start_events: EventBatch =
+        vec![ShardEvent::DocStart { assignment: Arc::clone(&t.assignment) }].into();
     let doc_start = SeqBatch { after: 0, through: 0, events: doc_start_events };
     for ring in rings {
         ring.push(doc_start.clone());
@@ -473,6 +474,7 @@ pub(super) fn run_document_overlapped<F: FnMut(QueryId, Match)>(
             t.profile.add_hold(gid as usize, deliveries, ns);
         }
     }
+    t.after_document(&group_stats, &telemetry);
     let par_stats = reader.stats();
     telemetry.fold_par(&par_stats);
     Ok((

@@ -17,13 +17,25 @@
 //! Worker threads are scoped to a [`ShardSession`], not to a single
 //! document: [`ShardedEngine::session`] spawns the workers once, then
 //! [`ShardSession::run_document`] streams any number of documents
-//! back-to-back through the same registered query set without re-planning
-//! or re-partitioning — the document-collections workload, where keeping
-//! the workers warm is what makes the threads pay. Registration churn
+//! back-to-back through the same registered query set without
+//! re-planning — the document-collections workload, where keeping the
+//! workers warm is what makes the threads pay. Registration churn
 //! (`add_query` / `remove_query`) happens between sessions; the partition
-//! is rebalanced over the then-active groups each time a session opens,
+//! is recomputed over the then-active groups each time a session opens,
 //! so retired slots recycled by the planner's free-list migrate shards
 //! naturally.
+//!
+//! ## Placement
+//!
+//! *Which* groups land on which worker is the [`place`] subsystem's
+//! call: round-robin ([`Placement::RoundRobin`]) or cost-aware LPT
+//! bin-packing over ledger-refined estimates ([`Placement::CostAware`],
+//! the default), with mid-session repartitioning at document boundaries
+//! when measured imbalance exceeds a hysteresis threshold. Groups live
+//! in a [`worker::GroupPool`] between documents, and every document's
+//! `DocStart` carries the assignment to run under — so a repartition is
+//! just a new assignment version, adopted by the workers before the
+//! next event flows.
 //!
 //! ## Determinism
 //!
@@ -37,9 +49,9 @@
 
 pub(crate) mod feed;
 pub(crate) mod merge;
+pub(crate) mod place;
 pub(crate) mod worker;
 
-use std::collections::HashMap;
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::Arc;
 use std::thread;
@@ -59,7 +71,9 @@ use crate::result::{Match, NodeId, QueryId};
 use crate::stats::{MachineStats, PlanStats, StreamStats};
 
 use merge::{MatchMerger, TaggedMatch};
-use worker::{run_worker, EventBatch, PrefixMap, Ring, SeqBatch, ShardEvent, WorkerReport};
+use place::{Assignment, CostModel, ShardPlan};
+pub use place::{Placement, PlacementSnapshot};
+use worker::{run_worker, EventBatch, GroupPool, Ring, SeqBatch, ShardEvent, WorkerReport};
 
 /// Events per broadcast batch: large enough to amortize ring locking and
 /// `Arc<[_]>` allocation, small enough to keep delivery incremental.
@@ -67,17 +81,6 @@ const EVENT_BATCH: usize = 256;
 
 /// Ring depth in batches — the backpressure bound per shard.
 const RING_BATCHES: usize = 8;
-
-/// Round-robin partition of the active group ids across `nshards`, in
-/// ascending id order. Recomputed whenever a session opens, so
-/// registration churn between sessions rebalances the shards.
-pub(crate) fn assign_shards(active_gids: &[usize], nshards: usize) -> Vec<Vec<usize>> {
-    let mut per_shard: Vec<Vec<usize>> = (0..nshards.max(1)).map(|_| Vec::new()).collect();
-    for (i, &gid) in active_gids.iter().enumerate() {
-        per_shard[i % nshards.max(1)].push(gid);
-    }
-    per_shard
-}
 
 /// A multi-query engine that executes plan groups on `N` worker threads.
 ///
@@ -88,14 +91,19 @@ pub(crate) fn assign_shards(active_gids: &[usize], nshards: usize) -> Vec<Vec<us
 pub struct ShardedEngine {
     multi: MultiEngine,
     shards: usize,
+    /// Group→shard planning policy for sessions this engine opens.
+    placement: Placement,
     /// Test-only fault injection: `(shard, seq)` — that shard's worker
     /// panics when it applies the event with that sequence number.
     fault: Option<(usize, u64)>,
+    /// Test-only fault injection: that shard's worker panics while
+    /// adopting a repartitioned assignment.
+    swap_fault: Option<usize>,
 }
 
 impl ShardedEngine {
     /// An empty engine running `shards` workers (0 is clamped to 1), with
-    /// indexed dispatch and plan sharing.
+    /// indexed dispatch, plan sharing, and cost-aware placement.
     pub fn new(shards: usize) -> Self {
         ShardedEngine::with_options(shards, DispatchMode::Indexed, PlanMode::Shared)
     }
@@ -106,8 +114,23 @@ impl ShardedEngine {
         ShardedEngine {
             multi: MultiEngine::with_options(dispatch, plan),
             shards: shards.max(1),
+            placement: Placement::default(),
             fault: None,
+            swap_fault: None,
         }
+    }
+
+    /// Selects the group→shard planning policy (see [`Placement`]).
+    /// Takes effect when the next session opens; matches and statistics
+    /// are placement-invariant by construction, so this only moves work
+    /// between workers.
+    pub fn set_placement(&mut self, placement: Placement) {
+        self.placement = placement;
+    }
+
+    /// The configured placement policy.
+    pub fn placement(&self) -> Placement {
+        self.placement
     }
 
     /// Test-only fault injection: make shard `shard`'s worker panic when
@@ -119,10 +142,21 @@ impl ShardedEngine {
         self.fault = Some((shard, seq));
     }
 
-    /// Clears a fault installed by [`Self::inject_worker_fault`].
+    /// Test-only fault injection: make shard `shard`'s worker panic while
+    /// adopting a *repartitioned* assignment (the initial adoption at
+    /// session open is exempt). Exercises the poison path in the swap
+    /// window from integration tests.
+    #[doc(hidden)]
+    pub fn inject_swap_fault(&mut self, shard: usize) {
+        self.swap_fault = Some(shard);
+    }
+
+    /// Clears faults installed by [`Self::inject_worker_fault`] /
+    /// [`Self::inject_swap_fault`].
     #[doc(hidden)]
     pub fn clear_worker_fault(&mut self) {
         self.fault = None;
+        self.swap_fault = None;
     }
 
     /// The configured worker count.
@@ -246,7 +280,9 @@ impl ShardedEngine {
             // engine.
             return f(&mut ShardSession { inner: SessionInner::Inline(&mut self.multi) });
         }
+        let placement = self.placement;
         let injected_fault = self.fault;
+        let injected_swap_fault = self.swap_fault;
         let parts = self.multi.shard_parts();
         let plan = parts.planner.stats(parts.interner);
         // Group-resident bytes are re-read from the workers after each
@@ -291,11 +327,13 @@ impl ShardedEngine {
             Vec::new()
         };
 
-        // Partition the active groups: round-robin in ascending gid order.
-        // Surplus workers would own zero machines yet still pop and
-        // acknowledge every batch, so the worker count is clamped to the
-        // active group count (a session always runs at least one worker —
-        // stream statistics must flow even with no subscriptions).
+        // Partition the active groups. Surplus workers would own zero
+        // machines yet still pop and acknowledge every batch, so the
+        // worker count is clamped to the active group count (a session
+        // always runs at least one worker — stream statistics must flow
+        // even with no subscriptions). Clamping happens *here*, against
+        // the post-churn active set, so removals between sessions shrink
+        // the worker pool rather than leave idle acknowledgers.
         let active_gids: Vec<usize> = parts
             .planner
             .groups()
@@ -305,12 +343,23 @@ impl ShardedEngine {
             .map(|(gid, _)| gid)
             .collect();
         let nshards = self.shards.min(active_gids.len()).max(1);
-        let mut shard_of: Vec<usize> = vec![usize::MAX; group_slots];
-        for (shard, gids) in assign_shards(&active_gids, nshards).iter().enumerate() {
-            for &gid in gids {
-                shard_of[gid] = shard;
+
+        // Cost estimates for placement planning: uniform prior — which
+        // makes the first LPT plan coincide with round-robin — optionally
+        // seeded from the live cost ledger. Seeding is guarded by each
+        // group's canonical step key: the planner's free-list recycles
+        // retired gids, and a recycled slot must not inherit the retired
+        // query's bill.
+        let mut cost = CostModel::uniform(group_slots);
+        if placement == Placement::CostAware {
+            if let Some(snapshot) = parts.profile.snapshot() {
+                cost.seed_from_ledger(&snapshot, &group_canonicals);
             }
         }
+        let initial_plan = match placement {
+            Placement::RoundRobin => place::round_robin_plan(&active_gids, nshards),
+            Placement::CostAware => place::lpt_plan(&active_gids, &cost, nshards),
+        };
 
         // Prefix-shared execution: the document thread advances the
         // *global* plan trie once per event and ships the push decisions;
@@ -318,33 +367,37 @@ impl ShardedEngine {
         // machine nodes of its own group subset. Walking the trie on the
         // document thread (rather than per shard) is what keeps the
         // prefix counters — and therefore the plan statistics — identical
-        // at every shard count.
+        // at every shard count. The per-group trie paths are snapshotted
+        // here (gid-indexed) so repartitioning can rebuild the per-shard
+        // maps without touching the trie again.
         let prefix_mode = parts.planner.mode() == PlanMode::PrefixShared;
-        let mut prefix_maps: Vec<PrefixMap> = Vec::new();
+        let mut prefix_paths: Vec<Vec<(u32, u32)>> = Vec::new();
         if prefix_mode {
-            prefix_maps.resize_with(nshards, HashMap::new);
+            prefix_paths.resize_with(group_slots, Vec::new);
             let trie = parts.planner.trie();
-            let mut next_li = vec![0u32; nshards];
             for &gid in &active_gids {
-                let shard = shard_of[gid];
-                let li = next_li[shard];
-                next_li[shard] += 1;
                 let group = parts.planner.group(gid);
-                for (d, &node) in trie.path_of(group.trie_node()).iter().enumerate() {
-                    prefix_maps[shard].entry(node).or_default().push((li, group.main_nodes()[d]));
-                }
+                prefix_paths[gid] = trie
+                    .path_of(group.trie_node())
+                    .iter()
+                    .zip(group.main_nodes())
+                    .map(|(&node, &mnode)| (node, mnode))
+                    .collect();
             }
         }
+        let assignment = Arc::new(place::make_assignment(0, &initial_plan, &prefix_paths));
 
         let (trie, group_slice) = parts.planner.run_split();
         let trie = prefix_mode.then_some(trie);
-        let mut per_shard: Vec<Vec<(usize, &mut PlanGroup)>> =
-            (0..nshards).map(|_| Vec::new()).collect();
+        let mut active_groups: Vec<(usize, &mut PlanGroup)> = Vec::new();
         for (gid, group) in group_slice.iter_mut().enumerate() {
             if group.is_active() {
-                per_shard[shard_of[gid]].push((gid, group));
+                active_groups.push((gid, group));
             }
         }
+        // All active groups start in the pool; workers check theirs out
+        // per document under whatever assignment that document carries.
+        let pool = GroupPool::new(active_groups, group_slots);
 
         let use_index = parts.mode == DispatchMode::Indexed;
         // In indexed mode the engine's global index doubles as a broadcast
@@ -358,16 +411,25 @@ impl ShardedEngine {
             .collect();
         let (tx, rx): (Sender<WorkerReport>, Receiver<WorkerReport>) = channel();
         thread::scope(|scope| {
-            let mut prefix_maps = prefix_maps.into_iter();
-            for (shard, groups) in per_shard.into_iter().enumerate() {
-                let ring = Arc::clone(&rings[shard]);
+            let pool = &pool;
+            for (shard, shard_ring) in rings.iter().enumerate() {
+                let ring = Arc::clone(shard_ring);
                 let tx = tx.clone();
-                let prefix = prefix_maps.next();
                 let fault =
                     injected_fault.and_then(|(s, seq)| if s == shard { Some(seq) } else { None });
+                let swap_fault = injected_swap_fault == Some(shard);
                 scope.spawn(move || {
                     run_worker(
-                        shard, groups, use_index, nsymbols, prefix, fault, profiled, ring, tx,
+                        shard,
+                        pool,
+                        use_index,
+                        nsymbols,
+                        prefix_mode,
+                        fault,
+                        swap_fault,
+                        profiled,
+                        ring,
+                        tx,
                     )
                 });
             }
@@ -395,6 +457,13 @@ impl ShardedEngine {
                     group_canonicals,
                     shared_scratch: Vec::new(),
                     poisoned: None,
+                    placement,
+                    cost,
+                    active_gids,
+                    assignment,
+                    prefix_paths,
+                    repartitions: 0,
+                    last_imbalance: None,
                 })),
             };
             f(&mut session)
@@ -497,6 +566,24 @@ impl ShardSession<'_> {
             SessionInner::Threaded(t) => feed::run_document_overlapped(t, bytes, config, on_match),
         }
     }
+
+    /// The session's current placement state: policy, effective worker
+    /// count, the group→shard map the *next* document will run under,
+    /// repartitions so far, and the last measured imbalance. Inline
+    /// (one-shard) sessions report a trivial snapshot — one shard, no
+    /// per-group map, nothing to repartition.
+    pub fn placement_snapshot(&self) -> PlacementSnapshot {
+        match &self.inner {
+            SessionInner::Inline(_) => PlacementSnapshot {
+                placement: Placement::RoundRobin,
+                shards: 1,
+                shard_of: Vec::new(),
+                repartitions: 0,
+                last_imbalance_millis: None,
+            },
+            SessionInner::Threaded(t) => t.placement_snapshot(),
+        }
+    }
 }
 
 /// Session state for the `shards > 1` path.
@@ -537,6 +624,25 @@ struct ThreadedSession<'a> {
     /// poisoned and every subsequent document fails fast (`usize::MAX`
     /// when the failing shard is unknown — the report channel died).
     poisoned: Option<usize>,
+    /// The session's placement policy (frozen at open, like the plan).
+    placement: Placement,
+    /// Per-group cost estimates, refined from every document's measured
+    /// work; drives LPT replanning under cost-aware placement.
+    cost: CostModel,
+    /// The active group ids this session partitions (ascending).
+    active_gids: Vec<usize>,
+    /// The assignment the *next* document will run under; shipped inside
+    /// its `DocStart` and swapped by [`ThreadedSession::after_document`]
+    /// when a repartition fires.
+    assignment: Arc<Assignment>,
+    /// Per-group `(trie node, machine node)` paths (gid-indexed; empty
+    /// unless prefix sharing) for rebuilding per-shard prefix maps when
+    /// replanning.
+    prefix_paths: Vec<Vec<(u32, u32)>>,
+    /// Repartitions performed this session.
+    repartitions: u64,
+    /// Measured imbalance (millis) of the most recent document.
+    last_imbalance: Option<u64>,
 }
 
 impl ThreadedSession<'_> {
@@ -590,7 +696,7 @@ impl ThreadedSession<'_> {
                 batch: Vec::with_capacity(EVENT_BATCH),
                 ended: false,
             };
-            pump.batch.push(ShardEvent::DocStart);
+            pump.batch.push(ShardEvent::DocStart { assignment: Arc::clone(&self.assignment) });
             let stream = self.driver.run(reader, &mut pump);
             // On a parse error the driver never reached `document_end`;
             // close the document on the worker side anyway so the workers
@@ -684,6 +790,7 @@ impl ThreadedSession<'_> {
                 self.profile.add_hold(gid as usize, deliveries, ns);
             }
         }
+        self.after_document(&group_stats, &telemetry);
         Ok(MultiOutput {
             matches,
             stats,
@@ -692,6 +799,77 @@ impl ThreadedSession<'_> {
             text_nodes: stream.text_nodes,
             events: stream.events,
         })
+    }
+
+    /// Post-document placement bookkeeping, shared by both front-ends:
+    /// measure per-shard loads under the assignment the document just ran
+    /// with (from the deterministic machine work counters, so the
+    /// decision stream is identical at every dispatch/front-end
+    /// configuration), refine the cost estimates, export the imbalance
+    /// gauge, and — under cost-aware placement, past the hysteresis
+    /// threshold — swap in a rebalanced assignment for the next document.
+    /// Swapping here is what keeps repartitioning output-transparent: the
+    /// new assignment travels inside the next `DocStart`, workers adopt
+    /// it before any event of that document flows, and the watermark
+    /// merge never notices.
+    pub(super) fn after_document(
+        &mut self,
+        group_stats: &[MachineStats],
+        telemetry: &crate::telemetry::Telemetry,
+    ) {
+        let mut loads = vec![0u64; self.nshards];
+        for (shard, gids) in self.assignment.shard_gids.iter().enumerate() {
+            for &gid in gids {
+                let work = place::work_of(&group_stats[gid]);
+                self.cost.observe(gid, work);
+                loads[shard] += work;
+            }
+        }
+        let measured = place::imbalance_millis(&loads);
+        self.last_imbalance = Some(measured);
+        telemetry.gauge_set(|r| &r.shard_imbalance, measured);
+        if self.placement != Placement::CostAware
+            || self.nshards < 2
+            || measured < place::REPARTITION_THRESHOLD_MILLIS
+        {
+            return;
+        }
+        let plan = place::lpt_plan(&self.active_gids, &self.cost, self.nshards);
+        if plan.shard_gids == self.assignment.shard_gids {
+            return;
+        }
+        // Only swap when the refined estimates actually predict an
+        // improvement over keeping the current assignment — hysteresis
+        // against estimate noise oscillating two near-equal plans.
+        let current = ShardPlan { shard_gids: self.assignment.shard_gids.clone() };
+        let predicted = place::imbalance_millis(&plan.loads(&self.cost));
+        let staying = place::imbalance_millis(&current.loads(&self.cost));
+        if predicted >= staying {
+            return;
+        }
+        self.assignment = Arc::new(place::make_assignment(
+            self.assignment.version + 1,
+            &plan,
+            &self.prefix_paths,
+        ));
+        self.repartitions += 1;
+        telemetry.add(|r| &r.shard_repartitions, 1);
+    }
+
+    fn placement_snapshot(&self) -> PlacementSnapshot {
+        let plan = ShardPlan { shard_gids: self.assignment.shard_gids.clone() };
+        let shard_of = plan
+            .shard_of(self.group_slots)
+            .into_iter()
+            .map(|s| (s != usize::MAX).then_some(s))
+            .collect();
+        PlacementSnapshot {
+            placement: self.placement,
+            shards: self.nshards,
+            shard_of,
+            repartitions: self.repartitions,
+            last_imbalance_millis: self.last_imbalance,
+        }
     }
 }
 
@@ -985,11 +1163,12 @@ mod tests {
 
     #[test]
     fn round_robin_assignment_balances_and_orders() {
-        let assigned = assign_shards(&[0, 2, 3, 7, 8], 2);
-        assert_eq!(assigned, [vec![0, 3, 8], vec![2, 7]]);
-        let one = assign_shards(&[4, 5], 1);
-        assert_eq!(one, [vec![4, 5]]);
-        assert_eq!(assign_shards(&[], 3), [vec![], vec![], vec![]]);
+        let assigned = place::round_robin_plan(&[0, 2, 3, 7, 8], 2);
+        assert_eq!(assigned.shard_gids, [vec![0, 3, 8], vec![2, 7]]);
+        let one = place::round_robin_plan(&[4, 5], 1);
+        assert_eq!(one.shard_gids, [vec![4, 5]]);
+        let empty = place::round_robin_plan(&[], 3);
+        assert_eq!(empty.shard_gids, [vec![], vec![], Vec::<usize>::new()]);
     }
 
     #[test]

@@ -1,0 +1,402 @@
+//! Cost-aware shard placement: ledger-driven group→shard planning with
+//! mid-session repartitioning.
+//!
+//! The round-robin partition assumes plan groups cost roughly the same —
+//! which collapses under skew: one hog query (the E14 scenario) pins a
+//! whole shard while the rest idle. This module plans placements from
+//! per-group **cost estimates** instead: a [`ShardPlan`] is computed by
+//! greedy LPT (longest-processing-time) bin-packing, the classic 4/3
+//! approximation for makespan on identical machines.
+//!
+//! Estimates come from the same deterministic machine counters the cost
+//! ledger bills ([`crate::telemetry::GroupCost::work`]): pushes + pops +
+//! predicate evaluations + dispatch hits. Those arrive at the coordinator
+//! with every `DocEnd` acknowledgement regardless of whether profiling is
+//! on, so the [`CostModel`] refines itself after every document — and
+//! because the counters are invariant across dispatch × plan × shard ×
+//! front-end configurations, so are the placement decisions. Matches are
+//! invariant *by construction* either way (the watermark merge orders by
+//! `(event seq, group id)`, which no placement can perturb); determinism
+//! of the decisions just makes experiments and tests reproducible.
+//!
+//! Repartitioning happens only between documents and only past a
+//! hysteresis threshold ([`REPARTITION_THRESHOLD_MILLIS`]), so a nearly
+//! balanced session never churns its dispatch indexes, and a skewed one
+//! converges after the first document measured under skew.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::stats::MachineStats;
+
+use super::worker::PrefixMap;
+
+/// How a sharded session maps plan groups onto worker threads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Placement {
+    /// Round-robin over ascending group ids — the skew-oblivious
+    /// baseline, kept as the escape hatch (`--placement round-robin`)
+    /// and for differential comparison.
+    RoundRobin,
+    /// Greedy LPT bin-packing over per-group cost estimates, refined
+    /// from measured work after every document, with repartitioning at
+    /// document boundaries when measured imbalance exceeds the
+    /// hysteresis threshold. The default.
+    #[default]
+    CostAware,
+}
+
+impl Placement {
+    /// Parses the CLI spelling (`round-robin` | `cost`).
+    pub fn parse(s: &str) -> Option<Placement> {
+        match s {
+            "round-robin" => Some(Placement::RoundRobin),
+            "cost" => Some(Placement::CostAware),
+            _ => None,
+        }
+    }
+}
+
+/// A point-in-time view of a [`crate::shard::ShardSession`]'s placement
+/// state, from [`crate::shard::ShardSession::placement_snapshot`]:
+/// which policy is active, how many workers actually run (after clamping
+/// to the active group count), where each group sits, and how the
+/// repartitioner has been behaving.
+#[derive(Debug, Clone)]
+pub struct PlacementSnapshot {
+    /// The session's planning policy.
+    pub placement: Placement,
+    /// Effective worker count.
+    pub shards: usize,
+    /// Shard of each plan-group slot under the assignment the *next*
+    /// document would run with (`None` = inactive slot). Empty for
+    /// inline one-shard sessions.
+    pub shard_of: Vec<Option<usize>>,
+    /// Assignment swaps performed so far this session.
+    pub repartitions: u64,
+    /// Measured imbalance of the most recent document, in millis
+    /// (1000 = perfectly balanced; `shards * 1000` = one shard carried
+    /// everything). `None` before the first document.
+    pub last_imbalance_millis: Option<u64>,
+}
+
+/// Measured imbalance (in millis, 1000 = perfectly balanced) above which
+/// a cost-aware session replans between documents. 1300 means "the
+/// hottest shard carries ≥ 1.3× the ideal per-shard load" — far enough
+/// from the round-robin noise floor that balanced workloads never churn.
+pub(crate) const REPARTITION_THRESHOLD_MILLIS: u64 = 1300;
+
+/// The deterministic work counter placement planning consumes — the same
+/// formula as [`crate::telemetry::GroupCost::work`] and
+/// [`crate::telemetry::QueryCost::work`], read straight off the per-run
+/// machine stats that every `DocEnd` acknowledgement carries.
+pub(crate) fn work_of(stats: &MachineStats) -> u64 {
+    stats.pushes + stats.pops + stats.predicate_evals + stats.dispatch_hits
+}
+
+/// A group→shard assignment over a fixed worker count.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct ShardPlan {
+    /// Ascending group ids per shard. Every shard owns at least one group
+    /// whenever `active gids ≥ nshards` (LPT always fills an empty bin
+    /// first; round-robin by construction).
+    pub(crate) shard_gids: Vec<Vec<usize>>,
+}
+
+impl ShardPlan {
+    /// The shard of each group slot (`usize::MAX` for slots this plan
+    /// does not place), sized to `group_slots`.
+    pub(crate) fn shard_of(&self, group_slots: usize) -> Vec<usize> {
+        let mut shard_of = vec![usize::MAX; group_slots];
+        for (shard, gids) in self.shard_gids.iter().enumerate() {
+            for &gid in gids {
+                shard_of[gid] = shard;
+            }
+        }
+        shard_of
+    }
+
+    /// Predicted per-shard loads under `costs`.
+    pub(crate) fn loads(&self, costs: &CostModel) -> Vec<u64> {
+        self.shard_gids
+            .iter()
+            .map(|gids| gids.iter().map(|&gid| costs.estimate(gid)).sum())
+            .collect()
+    }
+}
+
+/// Round-robin plan in ascending gid order — the [`Placement::RoundRobin`]
+/// baseline, also what LPT degenerates to under uniform costs.
+pub(crate) fn round_robin_plan(active_gids: &[usize], nshards: usize) -> ShardPlan {
+    let nshards = nshards.max(1);
+    let mut shard_gids: Vec<Vec<usize>> = (0..nshards).map(|_| Vec::new()).collect();
+    for (i, &gid) in active_gids.iter().enumerate() {
+        shard_gids[i % nshards].push(gid);
+    }
+    ShardPlan { shard_gids }
+}
+
+/// Greedy LPT bin-packing: place groups in descending estimated cost
+/// (ties broken by ascending gid), each onto the currently least-loaded
+/// shard (ties broken by lowest shard index). Fully deterministic; with
+/// uniform estimates it reproduces round-robin exactly, so a cost-aware
+/// session's *first* document runs the identical partition the
+/// round-robin baseline would.
+pub(crate) fn lpt_plan(active_gids: &[usize], costs: &CostModel, nshards: usize) -> ShardPlan {
+    let nshards = nshards.max(1);
+    let mut ranked: Vec<usize> = active_gids.to_vec();
+    ranked.sort_by(|&a, &b| costs.estimate(b).cmp(&costs.estimate(a)).then(a.cmp(&b)));
+    let mut shard_gids: Vec<Vec<usize>> = (0..nshards).map(|_| Vec::new()).collect();
+    let mut loads = vec![0u64; nshards];
+    for gid in ranked {
+        let shard = loads
+            .iter()
+            .enumerate()
+            .min_by_key(|&(i, &load)| (load, i))
+            .map(|(i, _)| i)
+            .expect("nshards >= 1");
+        shard_gids[shard].push(gid);
+        loads[shard] += costs.estimate(gid);
+    }
+    for gids in &mut shard_gids {
+        gids.sort_unstable();
+    }
+    ShardPlan { shard_gids }
+}
+
+/// Load imbalance in millis: `max_shard_load / ideal_load * 1000`, where
+/// ideal is `total / nshards`. 1000 = perfectly balanced; 2000 = the
+/// hottest shard carries twice its fair share; `nshards * 1000` = one
+/// shard carries everything. Zero-work documents report 1000 (nothing to
+/// balance, nothing imbalanced).
+pub(crate) fn imbalance_millis(loads: &[u64]) -> u64 {
+    let total: u64 = loads.iter().sum();
+    if total == 0 || loads.is_empty() {
+        return 1000;
+    }
+    let max = *loads.iter().max().expect("non-empty");
+    // max * n * 1000 / total, in u128 to dodge overflow on huge counters.
+    (max as u128 * loads.len() as u128 * 1000 / total as u128) as u64
+}
+
+/// Per-group cost estimates driving LPT planning.
+///
+/// Seeded uniform (every active group costs 1) so the initial plan is
+/// round-robin-equivalent; optionally pre-seeded from a prior cost-ledger
+/// snapshot, and refined from measured per-document work thereafter. The
+/// refinement is an integer average of the previous estimate and the new
+/// observation — enough smoothing to ride out per-document variance,
+/// deterministic by construction.
+#[derive(Debug)]
+pub(crate) struct CostModel {
+    est: Vec<u64>,
+    /// Whether `est[gid]` reflects at least one observation (seeded or
+    /// measured) rather than the uniform prior.
+    observed: Vec<bool>,
+}
+
+impl CostModel {
+    /// Uniform prior over `group_slots` slots.
+    pub(crate) fn uniform(group_slots: usize) -> CostModel {
+        CostModel { est: vec![1; group_slots], observed: vec![false; group_slots] }
+    }
+
+    /// Pre-seed estimates from a cost-ledger snapshot taken before the
+    /// session opened. `canonicals[gid]` is the *current* canonical step
+    /// key of each active slot: a ledger row is only trusted when its
+    /// canonical key matches, because the planner's free-list recycles
+    /// retired group ids — a recycled slot must never inherit the retired
+    /// query's accumulated bill (the partition-staleness bug this guards
+    /// against).
+    pub(crate) fn seed_from_ledger(
+        &mut self,
+        snapshot: &crate::telemetry::ProfileSnapshot,
+        canonicals: &[Option<String>],
+    ) {
+        for g in &snapshot.groups {
+            let fresh =
+                canonicals.get(g.gid).and_then(|c| c.as_deref()).is_some_and(|c| c == g.canonical);
+            if fresh && g.work() > 0 {
+                self.est[g.gid] = g.work();
+                self.observed[g.gid] = true;
+            }
+        }
+    }
+
+    /// Fold one document's measured work for `gid` into the estimate.
+    pub(crate) fn observe(&mut self, gid: usize, work: u64) {
+        let work = work.max(1);
+        if self.observed[gid] {
+            self.est[gid] = (self.est[gid] + work).div_ceil(2);
+        } else {
+            self.est[gid] = work;
+            self.observed[gid] = true;
+        }
+    }
+
+    /// Current estimate for `gid` (≥ 1 for any slot ever seeded).
+    pub(crate) fn estimate(&self, gid: usize) -> u64 {
+        self.est[gid]
+    }
+}
+
+/// One immutable group→shard assignment, shipped to the workers inside
+/// every `DocStart` event. Workers adopt it when the `version` differs
+/// from the one they are running (rebuilding their local dispatch index
+/// and, under prefix sharing, their trie-routing map) and otherwise just
+/// re-acquire the same groups — so a repartition costs exactly one
+/// index rebuild per worker, at a document boundary, and nothing at all
+/// when the plan is stable.
+#[derive(Debug)]
+pub(crate) struct Assignment {
+    pub(crate) version: u64,
+    /// Ascending gids per shard.
+    pub(crate) shard_gids: Vec<Vec<usize>>,
+    /// Per-shard prefix-routing maps (empty unless the session runs
+    /// prefix-shared plans). `Arc` so adopting workers share rather than
+    /// clone.
+    pub(crate) prefix_maps: Vec<Arc<PrefixMap>>,
+}
+
+/// Builds the assignment for `plan`, deriving per-shard prefix maps from
+/// the per-group trie paths when `prefix_paths` is non-empty. Each path
+/// entry is the group's `(trie node, machine main node)` pairs in path
+/// order — precomputed at session open, so replanning never needs the
+/// trie (which the document thread owns exclusively).
+pub(crate) fn make_assignment(
+    version: u64,
+    plan: &ShardPlan,
+    prefix_paths: &[Vec<(u32, u32)>],
+) -> Assignment {
+    let mut prefix_maps = Vec::new();
+    if !prefix_paths.is_empty() {
+        for gids in &plan.shard_gids {
+            let mut map: PrefixMap = HashMap::new();
+            for (li, &gid) in gids.iter().enumerate() {
+                for &(node, mnode) in &prefix_paths[gid] {
+                    map.entry(node).or_default().push((li as u32, mnode));
+                }
+            }
+            prefix_maps.push(Arc::new(map));
+        }
+    }
+    Assignment { version, shard_gids: plan.shard_gids.clone(), prefix_maps }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model(costs: &[(usize, u64)], slots: usize) -> CostModel {
+        let mut m = CostModel::uniform(slots);
+        for &(gid, w) in costs {
+            m.observe(gid, w);
+        }
+        m
+    }
+
+    #[test]
+    fn placement_parses_cli_spellings() {
+        assert_eq!(Placement::parse("round-robin"), Some(Placement::RoundRobin));
+        assert_eq!(Placement::parse("cost"), Some(Placement::CostAware));
+        assert_eq!(Placement::parse("lpt"), None);
+    }
+
+    #[test]
+    fn lpt_with_uniform_costs_is_round_robin() {
+        let gids = [0usize, 2, 3, 7, 8];
+        let costs = CostModel::uniform(9);
+        let lpt = lpt_plan(&gids, &costs, 2);
+        assert_eq!(lpt, round_robin_plan(&gids, 2));
+        assert_eq!(lpt.shard_gids, [vec![0, 3, 8], vec![2, 7]]);
+    }
+
+    #[test]
+    fn lpt_isolates_a_hog() {
+        // One group dwarfs the rest: LPT parks it alone and spreads the
+        // cheap groups over the remaining shards.
+        let gids: Vec<usize> = (0..9).collect();
+        let mut costs = CostModel::uniform(9);
+        costs.observe(4, 1_000_000);
+        for gid in [0usize, 1, 2, 3, 5, 6, 7, 8] {
+            costs.observe(gid, 10);
+        }
+        let plan = lpt_plan(&gids, &costs, 4);
+        let shard_of = plan.shard_of(9);
+        let hog_shard = shard_of[4];
+        assert_eq!(plan.shard_gids[hog_shard], vec![4], "hog isolated on its own shard");
+        for (gid, &s) in shard_of.iter().enumerate() {
+            if gid != 4 {
+                assert_ne!(s, hog_shard, "group {gid} must avoid the hog's shard");
+            }
+        }
+    }
+
+    #[test]
+    fn lpt_fills_every_shard_when_groups_suffice() {
+        let gids: Vec<usize> = (0..4).collect();
+        let costs = model(&[(0, 100), (1, 1), (2, 1), (3, 1)], 4);
+        let plan = lpt_plan(&gids, &costs, 4);
+        assert!(plan.shard_gids.iter().all(|g| !g.is_empty()), "{:?}", plan.shard_gids);
+    }
+
+    #[test]
+    fn imbalance_millis_scales() {
+        assert_eq!(imbalance_millis(&[10, 10, 10, 10]), 1000);
+        assert_eq!(imbalance_millis(&[40, 0, 0, 0]), 4000);
+        assert_eq!(imbalance_millis(&[30, 10]), 1500);
+        assert_eq!(imbalance_millis(&[0, 0]), 1000, "zero work is balanced");
+        assert_eq!(imbalance_millis(&[]), 1000);
+    }
+
+    #[test]
+    fn cost_model_averages_observations() {
+        let mut m = CostModel::uniform(2);
+        assert_eq!(m.estimate(0), 1);
+        m.observe(0, 100);
+        assert_eq!(m.estimate(0), 100, "first observation replaces the prior");
+        m.observe(0, 50);
+        assert_eq!(m.estimate(0), 75);
+        m.observe(1, 0);
+        assert_eq!(m.estimate(1), 1, "estimates stay >= 1");
+    }
+
+    #[test]
+    fn ledger_seed_rejects_stale_canonicals() {
+        use crate::telemetry::{GroupCost, ProfileSnapshot};
+        let snapshot = ProfileSnapshot {
+            docs: 1,
+            queries: Vec::new(),
+            groups: vec![
+                GroupCost { gid: 0, canonical: "//a".into(), pushes: 500, ..Default::default() },
+                GroupCost { gid: 1, canonical: "//b".into(), pushes: 700, ..Default::default() },
+            ],
+        };
+        // Slot 0 was recycled: it now serves "//c", so the ledger's
+        // "//a" bill must not leak into its estimate. Slot 1 still
+        // serves "//b" and keeps its seed.
+        let canonicals = vec![Some("//c".to_string()), Some("//b".to_string())];
+        let mut m = CostModel::uniform(2);
+        m.seed_from_ledger(&snapshot, &canonicals);
+        assert_eq!(m.estimate(0), 1, "recycled slot keeps the uniform prior");
+        assert_eq!(m.estimate(1), 700, "matching canonical seeds the estimate");
+    }
+
+    #[test]
+    fn assignment_builds_per_shard_prefix_maps() {
+        let plan = ShardPlan { shard_gids: vec![vec![0, 2], vec![1]] };
+        // gid 0: trie path [5, 6] -> machine nodes [0, 1]; gid 1: [5] ->
+        // [0]; gid 2: [9] -> [0].
+        let paths = vec![vec![(5, 0), (6, 1)], vec![(5, 0)], vec![(9, 0)]];
+        let a = make_assignment(3, &plan, &paths);
+        assert_eq!(a.version, 3);
+        assert_eq!(a.prefix_maps.len(), 2);
+        // Shard 0 local slots: li 0 = gid 0, li 1 = gid 2.
+        assert_eq!(a.prefix_maps[0].get(&5), Some(&vec![(0u32, 0u32)]));
+        assert_eq!(a.prefix_maps[0].get(&6), Some(&vec![(0u32, 1u32)]));
+        assert_eq!(a.prefix_maps[0].get(&9), Some(&vec![(1u32, 0u32)]));
+        assert_eq!(a.prefix_maps[1].get(&5), Some(&vec![(0u32, 0u32)]));
+        let none = make_assignment(1, &plan, &[]);
+        assert!(none.prefix_maps.is_empty(), "no prefix maps outside prefix mode");
+    }
+}

@@ -31,6 +31,7 @@ use crate::stats::MachineStats;
 use crate::telemetry::{Telemetry, TID_SHARD_BASE};
 
 use super::merge::TaggedMatch;
+use super::place::Assignment;
 
 /// Prefix-shared execution: global trie node → the `(local slot, machine
 /// node)` pairs a push of that node drives within this shard's group
@@ -45,8 +46,11 @@ pub(crate) type PrefixMap = HashMap<u32, Vec<(u32, u32)>>;
 /// counts; everything else is `Copy`.
 #[derive(Debug, Clone)]
 pub(crate) enum ShardEvent {
-    /// A document begins: reset machine state (stacks, stats, dedup sets).
-    DocStart,
+    /// A document begins: acquire the groups this shard owns under
+    /// `assignment` (adopting it — rebuilding the local dispatch index —
+    /// when its version differs from the one currently running) and
+    /// reset machine state (stacks, stats, dedup sets).
+    DocStart { assignment: Arc<Assignment> },
     /// `startElement` with the symbol the driver resolved once.
     Start {
         seq: u64,
@@ -193,6 +197,58 @@ impl<T> Ring<T> {
     }
 }
 
+/// The session's group loan desk: every active plan group's exclusive
+/// borrow, parked in a per-slot mutex between documents.
+///
+/// Workers take their assigned groups at every [`ShardEvent::DocStart`]
+/// and put them back at every [`ShardEvent::DocEnd`] — *before* sending
+/// the end-of-document acknowledgement, and the coordinator ships the
+/// next document's `DocStart` only after collecting every
+/// acknowledgement, so whenever a new assignment arrives the pool is
+/// fully stocked and a group can migrate between workers without any
+/// cross-worker handoff protocol. Machines reset at `DocStart`, so a
+/// migrated group carries no document state. The per-document mutex
+/// traffic is two uncontended locks per group — noise next to a
+/// document's event volume.
+pub(crate) struct GroupPool<'a> {
+    /// Indexed by global group id; `None` for inactive slots and for
+    /// groups currently out on loan.
+    slots: Vec<Mutex<Option<&'a mut PlanGroup>>>,
+}
+
+impl<'a> GroupPool<'a> {
+    /// Stocks the pool with the session's active groups; `group_slots`
+    /// sizes the gid-indexed table.
+    pub(crate) fn new(groups: Vec<(usize, &'a mut PlanGroup)>, group_slots: usize) -> Self {
+        let mut slots: Vec<Mutex<Option<&'a mut PlanGroup>>> =
+            (0..group_slots).map(|_| Mutex::new(None)).collect();
+        for (gid, group) in groups {
+            slots[gid] = Mutex::new(Some(group));
+        }
+        GroupPool { slots }
+    }
+
+    /// Borrows group `gid` out of the pool. Panics if the group is
+    /// absent — that would mean two workers believe they own the same
+    /// gid, which the version-gated assignment protocol rules out.
+    pub(crate) fn take(&self, gid: usize) -> &'a mut PlanGroup {
+        self.slots[gid]
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .take()
+            .expect("group checked out twice — assignment shards overlap")
+    }
+
+    /// Returns group `gid` to the pool.
+    pub(crate) fn put(&self, gid: usize, group: &'a mut PlanGroup) {
+        let prev = self.slots[gid]
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .replace(group);
+        debug_assert!(prev.is_none(), "pool slot {gid} already occupied");
+    }
+}
+
 /// One worker→document-thread report: the matches emitted while
 /// processing a batch (often empty), the shard's new watermark, and — on
 /// the report acknowledging a [`ShardEvent::DocEnd`] — per-group machine
@@ -234,12 +290,18 @@ pub(crate) struct GroupSnapshot {
 const SELF_SAMPLE: u64 = 1024;
 
 /// The worker entry point: runs on its own thread for the lifetime of a
-/// session, processing batches until the ring closes. `groups` is this
-/// shard's subset in ascending group-id order; `nsymbols` sizes the local
-/// dispatch index (the interner is frozen for the session). Telemetry
-/// (batch timing, busy time, per-batch spans) records through the handle
-/// the ring was built with. `fault` is the test-only injection hook: the
-/// worker panics when it applies the event with that sequence number.
+/// session, processing batches until the ring closes. The worker owns no
+/// groups between documents — it borrows its assigned subset from `pool`
+/// at every `DocStart` (in ascending group-id order, mirroring the
+/// single-threaded engine) and returns them at `DocEnd`. `nsymbols`
+/// sizes the local dispatch index (the interner is frozen for the
+/// session); under `prefix_mode` the index carries predicate-only
+/// interests and the trie-routing map arrives inside the assignment.
+/// Telemetry (batch timing, busy time, per-batch spans) records through
+/// the handle the ring was built with. `fault` and `swap_fault` are the
+/// test-only injection hooks: the worker panics when it applies the
+/// event with that sequence number, or mid-adoption of a repartitioned
+/// assignment.
 ///
 /// A panicking worker must not take the session down with it: the
 /// [`PoisonGuard`] closes the ring and sends a poisoned report during the
@@ -247,22 +309,36 @@ const SELF_SAMPLE: u64 = 1024;
 /// and catching the unwind here lets the thread return normally so the
 /// session's scope join succeeds instead of re-raising. The document
 /// thread turns the poisoned report into a clean [`EngineError::Worker`].
+/// Groups the worker held when it panicked stay checked out — harmless,
+/// because the poisoned session never starts another document.
 ///
 /// [`EngineError::Worker`]: crate::error::EngineError::Worker
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn run_worker(
     shard: usize,
-    groups: Vec<(usize, &mut PlanGroup)>,
+    pool: &GroupPool<'_>,
     use_index: bool,
     nsymbols: usize,
-    prefix: Option<PrefixMap>,
+    prefix_mode: bool,
     fault: Option<u64>,
+    swap_fault: bool,
     profiled: bool,
     ring: Arc<Ring<SeqBatch>>,
     out: Sender<WorkerReport>,
 ) {
     let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        worker_loop(shard, groups, use_index, nsymbols, prefix, fault, profiled, &ring, &out);
+        worker_loop(
+            shard,
+            pool,
+            use_index,
+            nsymbols,
+            prefix_mode,
+            fault,
+            swap_fault,
+            profiled,
+            &ring,
+            &out,
+        );
     }));
     // The guard inside worker_loop already reported the poisoning.
     let _ = result;
@@ -272,7 +348,7 @@ pub(crate) fn run_worker(
 /// document-start marker).
 fn event_seq(ev: &ShardEvent) -> Option<u64> {
     match ev {
-        ShardEvent::DocStart => None,
+        ShardEvent::DocStart { .. } => None,
         ShardEvent::Start { seq, .. }
         | ShardEvent::Text { seq, .. }
         | ShardEvent::End { seq, .. }
@@ -281,13 +357,14 @@ fn event_seq(ev: &ShardEvent) -> Option<u64> {
 }
 
 #[allow(clippy::too_many_arguments)]
-fn worker_loop(
+fn worker_loop<'a>(
     shard: usize,
-    mut groups: Vec<(usize, &mut PlanGroup)>,
+    pool: &GroupPool<'a>,
     use_index: bool,
     nsymbols: usize,
-    prefix: Option<PrefixMap>,
+    prefix_mode: bool,
     fault: Option<u64>,
+    swap_fault: bool,
     profiled: bool,
     ring: &Arc<Ring<SeqBatch>>,
     out: &Sender<WorkerReport>,
@@ -299,24 +376,21 @@ fn worker_loop(
     let _poison_on_panic = PoisonGuard { shard, ring, out };
     let telemetry = ring.telemetry.clone();
 
-    // Local dispatch structures over this shard's subset, keyed by global
-    // group id so match tags are globally comparable. Under prefix
-    // sharing the index carries predicate-only element interests: the
-    // main path arrives pre-planned inside the events.
+    // The groups currently on loan from the pool (empty between
+    // documents), plus the local dispatch structures over that subset,
+    // keyed by global group id so match tags are globally comparable.
+    // All of it is assignment-dependent state, (re)built when a DocStart
+    // carries a version we have not adopted yet. Under prefix sharing
+    // the index carries predicate-only element interests — the main path
+    // arrives pre-planned inside the events, routed through the
+    // assignment's per-shard prefix map.
+    let mut groups: Vec<(usize, &'a mut PlanGroup)> = Vec::new();
+    let mut cur_version: Option<u64> = None;
     let mut index = DispatchIndex::default();
-    let max_gid = groups.iter().map(|(gid, _)| gid + 1).max().unwrap_or(0);
-    let mut local_of: Vec<u32> = vec![u32::MAX; max_gid];
-    for (li, (gid, group)) in groups.iter().enumerate() {
-        if prefix.is_some() {
-            index.add_group_prefix(*gid, group.machine().spec(), nsymbols);
-        } else {
-            index.add_group(*gid, group.machine().spec(), nsymbols);
-        }
-        local_of[*gid] = li as u32;
-    }
-
+    let mut local_of: Vec<u32> = Vec::new();
     // Ascending global gids, indexable by local slot (the scan path).
-    let gids: Vec<u32> = groups.iter().map(|(gid, _)| *gid as u32).collect();
+    let mut gids: Vec<u32> = Vec::new();
+    let mut prefix: Option<Arc<PrefixMap>> = None;
 
     // Prefix-mode scratch: per-event main plans, predicate targets and
     // the frame stack of machines that pushed per open element.
@@ -329,7 +403,7 @@ fn worker_loop(
     let mut matches: Vec<TaggedMatch> = Vec::new();
     // Profiling scratch: sampled per-group self-time for the current
     // document and the shared touch counter driving the sampling stride.
-    let mut self_ns: Vec<u64> = vec![0; groups.len()];
+    let mut self_ns: Vec<u64> = Vec::new();
     let mut touch_count: u64 = 0;
     // Contiguously applied sequence frontier for the current document, and
     // the reorder stash for out-of-order producer deliveries, keyed by the
@@ -343,7 +417,7 @@ fn worker_loop(
         let mut doc_stats = None;
         let mut next = Some(popped);
         while let Some(batch) = next.take() {
-            if matches!(batch.events.first(), Some(ShardEvent::DocStart)) {
+            if matches!(batch.events.first(), Some(ShardEvent::DocStart { .. })) {
                 // A new document begins. The coordinator seeds DocStart
                 // into each ring before any producer publishes, so FIFO
                 // order guarantees nothing of the new document precedes
@@ -403,20 +477,50 @@ fn worker_loop(
                         ShardEvent::End { name, level, element_span, .. } => {
                             machine.end_element(name, *level, *element_span, sink);
                         }
-                        ShardEvent::DocStart | ShardEvent::DocEnd { .. } => unreachable!(),
+                        ShardEvent::DocStart { .. } | ShardEvent::DocEnd { .. } => unreachable!(),
                     }
                     if let Some(t0) = t0 {
                         self_ns[li as usize] += t0.elapsed().as_nanos() as u64 * SELF_SAMPLE;
                     }
                 };
                 match event {
-                    ShardEvent::DocStart => {
+                    ShardEvent::DocStart { assignment } => {
+                        debug_assert!(groups.is_empty(), "prior document returned its groups");
+                        let adopt = cur_version != Some(assignment.version);
+                        if adopt && swap_fault && cur_version.is_some() {
+                            // Injected fault: die mid-swap, after the old
+                            // assignment retired but before the new one is
+                            // adopted (the repartition hazard window).
+                            panic!("injected shard-worker fault during assignment swap");
+                        }
+                        for &gid in &assignment.shard_gids[shard] {
+                            groups.push((gid, pool.take(gid)));
+                        }
+                        if adopt {
+                            index = DispatchIndex::default();
+                            let max_gid = groups.iter().map(|(gid, _)| gid + 1).max().unwrap_or(0);
+                            local_of.clear();
+                            local_of.resize(max_gid, u32::MAX);
+                            for (li, (gid, group)) in groups.iter().enumerate() {
+                                if prefix_mode {
+                                    index.add_group_prefix(*gid, group.machine().spec(), nsymbols);
+                                } else {
+                                    index.add_group(*gid, group.machine().spec(), nsymbols);
+                                }
+                                local_of[*gid] = li as u32;
+                            }
+                            gids = groups.iter().map(|(gid, _)| *gid as u32).collect();
+                            prefix =
+                                prefix_mode.then(|| Arc::clone(&assignment.prefix_maps[shard]));
+                            cur_version = Some(assignment.version);
+                        }
                         for (_, group) in groups.iter_mut() {
                             group.machine_mut().reset();
                         }
                         frame_lis.clear();
                         frames.clear();
-                        self_ns.iter_mut().for_each(|n| *n = 0);
+                        self_ns.clear();
+                        self_ns.resize(groups.len(), 0);
                     }
                     ShardEvent::Start {
                         seq,
@@ -536,6 +640,13 @@ fn worker_loop(
                                 })
                                 .collect(),
                         );
+                        // Return the loans before the acknowledgement goes
+                        // out: once every shard has acknowledged, the
+                        // coordinator may ship a new assignment, and any
+                        // group may then belong to a different worker.
+                        for (gid, group) in groups.drain(..) {
+                            pool.put(gid, group);
+                        }
                     }
                 }
             }

@@ -240,6 +240,12 @@ pub struct Registry {
     pub worker_idle_ns: Counter,
     /// Matches released by the merger (`vitex_merge_released_total`).
     pub merge_released: Counter,
+    /// Mid-session shard repartitions performed by the cost-aware placer
+    /// (`vitex_shard_repartitions_total`). Placement-dependent — the
+    /// round-robin baseline never repartitions — and shard-count
+    /// dependent, so excluded from the deterministic class even though
+    /// the decision stream is reproducible for a fixed configuration.
+    pub shard_repartitions: Counter,
     /// Wall nanoseconds for whole-document runs (`vitex_doc_ns_total`).
     pub doc_ns: Counter,
 
@@ -265,6 +271,14 @@ pub struct Registry {
     /// Producer (publisher) threads feeding the shard rings in the
     /// overlapped front-end (`vitex_producer_threads`).
     pub producer_threads: Gauge,
+    /// Measured per-document shard load imbalance in millis
+    /// (`vitex_shard_imbalance`): max shard load over the ideal
+    /// per-shard load, scaled by 1000 — 1000 is perfectly balanced,
+    /// `shards * 1000` is one shard carrying everything. Computed from
+    /// the deterministic machine work counters after every sharded
+    /// document; the high-water mark records the worst document the
+    /// registry has seen.
+    pub shard_imbalance: Gauge,
 
     // ----- histograms (distributions; timing dependent) -----
     /// Per-event dispatch time in ns (`vitex_dispatch_ns`).
@@ -360,6 +374,7 @@ impl Registry {
             timing("vitex_worker_busy_ns_total", &self.worker_busy_ns),
             timing("vitex_worker_idle_ns_total", &self.worker_idle_ns),
             timing("vitex_merge_released_total", &self.merge_released),
+            timing("vitex_shard_repartitions_total", &self.shard_repartitions),
             timing("vitex_doc_ns_total", &self.doc_ns),
             timing("vitex_producer_batches_total", &self.producer_batches),
             timing("vitex_producer_idle_ns_total", &self.producer_idle_ns),
@@ -373,6 +388,7 @@ impl Registry {
             row("vitex_ring_occupancy", &self.ring_occupancy),
             row("vitex_merge_hold_depth", &self.merge_hold_depth),
             row("vitex_producer_threads", &self.producer_threads),
+            row("vitex_shard_imbalance", &self.shard_imbalance),
         ]
     }
 

@@ -485,8 +485,8 @@ fn heartbeat_loop(every: Duration, ledger: &CostLedger, telemetry: &Telemetry, s
         }
         let Some(snap) = ledger.snapshot() else { continue };
         let now = Instant::now();
-        let dt = now.saturating_duration_since(last).as_secs_f64().max(1e-9);
-        let rate = (snap.docs.saturating_sub(last_docs)) as f64 / dt;
+        let dt = now.saturating_duration_since(last).as_secs_f64();
+        let delta_docs = snap.docs.saturating_sub(last_docs);
         last_docs = snap.docs;
         last = now;
         let ring = telemetry
@@ -505,8 +505,21 @@ fn heartbeat_loop(every: Duration, ledger: &CostLedger, telemetry: &Telemetry, s
             })
             .collect::<Vec<_>>()
             .join(" ");
-        eprintln!("heartbeat: docs={} rate={:.1}/s{} hot=[{}]", snap.docs, rate, ring, hot);
+        eprintln!("{}", heartbeat_line(snap.docs, delta_docs, dt, &ring, &hot));
     }
+}
+
+/// Formats one heartbeat line. Until the first document completes there
+/// is no rate to report — dividing would print a spurious `0.0/s`, or
+/// `inf`/`NaN` for a degenerate interval — so the rate field renders as
+/// `-` while `docs == 0` and whenever the interval is unusable.
+fn heartbeat_line(docs: u64, delta_docs: u64, dt_secs: f64, ring: &str, hot: &str) -> String {
+    let rate = if docs == 0 || !dt_secs.is_finite() || dt_secs <= 0.0 {
+        "-".to_string()
+    } else {
+        format!("{:.1}/s", delta_docs as f64 / dt_secs)
+    };
+    format!("heartbeat: docs={docs} rate={rate}{ring} hot=[{hot}]")
 }
 
 #[cfg(test)]
@@ -534,6 +547,22 @@ mod tests {
             dispatch_hits: pushes,
             ..MachineStats::default()
         }
+    }
+
+    #[test]
+    fn heartbeat_line_guards_the_rate_division() {
+        // Zero completed documents: no rate, not "0.0/s" (and never
+        // NaN/inf, whatever the interval did).
+        assert_eq!(heartbeat_line(0, 0, 5.0, "", ""), "heartbeat: docs=0 rate=- hot=[]");
+        assert_eq!(heartbeat_line(0, 0, 0.0, "", ""), "heartbeat: docs=0 rate=- hot=[]");
+        // Degenerate intervals stay non-numeric even with documents done.
+        assert_eq!(heartbeat_line(3, 3, 0.0, "", ""), "heartbeat: docs=3 rate=- hot=[]");
+        assert_eq!(heartbeat_line(3, 3, f64::NAN, "", ""), "heartbeat: docs=3 rate=- hot=[]");
+        // The healthy case formats as before.
+        assert_eq!(
+            heartbeat_line(10, 5, 2.0, " ring=1/4", "g0:9(//a)"),
+            "heartbeat: docs=10 rate=2.5/s ring=1/4 hot=[g0:9(//a)]"
+        );
     }
 
     #[test]

@@ -26,7 +26,8 @@ use std::sync::Arc;
 
 use vitex_core::telemetry::{trace_json, Heartbeat, Telemetry};
 use vitex_core::{
-    DispatchMode, Engine, EvalMode, Match, MatchKind, MultiOutput, PlanMode, QueryId, ShardedEngine,
+    DispatchMode, Engine, EvalMode, Match, MatchKind, MultiOutput, Placement, PlanMode, QueryId,
+    ShardedEngine,
 };
 use vitex_xmlsax::{
     EventSource, ParStats, ParallelConfig, ParallelReader, ProbeHandle, XmlEvent, XmlReader,
@@ -45,6 +46,9 @@ struct Options {
     no_plan_sharing: bool,
     prefix_sharing: bool,
     shards: usize,
+    /// Group→shard planning policy for `--shards >= 2` runs; cost-aware
+    /// by default, `--placement round-robin` is the escape hatch.
+    placement: Placement,
     parse_threads: usize,
     no_overlap: bool,
     machine: bool,
@@ -96,6 +100,7 @@ const FLAGS: &[&str] = &[
     "--no-plan-sharing",
     "--prefix-sharing",
     "--shards",
+    "--placement",
     "--parse-threads",
     "--no-overlap",
     "--machine",
@@ -130,6 +135,9 @@ fn usage() -> ! {
          \x20 --no-plan-sharing      multi-query: one machine per registration (no dedup, no shared-prefix trie)\n\
          \x20 --prefix-sharing       multi-query: advance shared main-path prefixes once per event (same output)\n\
          \x20 --shards <N>           run plan groups on N worker threads; output identical to N=1 (default 1)\n\
+         \x20 --placement <P>        group->shard planning for --shards >= 2: 'cost' (default; LPT over\n\
+         \x20                        ledger-refined estimates, repartitions between documents) or\n\
+         \x20                        'round-robin' (skew-oblivious baseline); output identical either way\n\
          \x20 --parse-threads <N>    parse the document itself on N threads; 0 or 1 = sequential (default 1)\n\
          \x20 --no-overlap           keep the pipelined front-end even when --parse-threads and --shards\n\
          \x20                        both exceed 1 (default: overlapped parse->match; identical output)\n\
@@ -199,6 +207,7 @@ fn parse_args() -> Options {
         no_plan_sharing: false,
         prefix_sharing: false,
         shards: 1,
+        placement: Placement::CostAware,
         parse_threads: 1,
         no_overlap: false,
         machine: false,
@@ -226,6 +235,10 @@ fn parse_args() -> Options {
             "--shards" => match args.next().and_then(|n| n.parse::<usize>().ok()) {
                 Some(n) if n >= 1 => opts.shards = n,
                 _ => usage(),
+            },
+            "--placement" => match args.next().as_deref().and_then(Placement::parse) {
+                Some(p) => opts.placement = p,
+                None => usage(),
             },
             "--parse-threads" => match args.next().and_then(|n| n.parse::<usize>().ok()) {
                 Some(n) => opts.parse_threads = n,
@@ -416,6 +429,30 @@ fn finish_parse_stats(reader: &AnyReader, opts: &Options, telemetry: &Telemetry)
     }
 }
 
+/// Detects two export flags aimed at the same file. Each export is a
+/// whole-file write, so a shared path would silently resolve to
+/// last-writer-wins clobbering; `main` turns this into an exit-2
+/// diagnostic instead. Paths are compared as given — spelling the same
+/// file two ways is on the user — which keeps the check dependency-free
+/// and side-effect-free.
+fn duplicate_export_path(opts: &Options) -> Option<(&'static str, &'static str, &str)> {
+    let exports: [(&'static str, Option<&String>); 3] = [
+        ("--metrics-json", opts.metrics_json.as_ref()),
+        ("--profile-json", opts.profile_json.as_ref()),
+        ("--trace-out", opts.trace_out.as_ref()),
+    ];
+    for (i, &(flag_a, path_a)) in exports.iter().enumerate() {
+        for &(flag_b, path_b) in &exports[i + 1..] {
+            if let (Some(a), Some(b)) = (path_a, path_b) {
+                if a == b {
+                    return Some((flag_a, flag_b, a));
+                }
+            }
+        }
+    }
+    None
+}
+
 /// Writes one export artifact, mapping any I/O failure to the clean
 /// usage-error exit every exporting flag shares (`--metrics-json`,
 /// `--trace-out`, `--profile-json`): the path and OS error on stderr,
@@ -522,6 +559,7 @@ fn run_multi(opts: &Options, trees: &[QueryTree], telemetry: &Telemetry) -> Exit
         PlanMode::Shared
     };
     let mut multi = ShardedEngine::with_options(opts.shards, dispatch, plan);
+    multi.set_placement(opts.placement);
     multi.set_telemetry(telemetry.clone());
     multi.set_profiling(opts.profiling_requested());
     for tree in trees {
@@ -647,6 +685,12 @@ fn main() -> ExitCode {
         eprintln!("vitex: --no-plan-sharing and --prefix-sharing are mutually exclusive");
         return ExitCode::from(2);
     }
+    if let Some((flag_a, flag_b, path)) = duplicate_export_path(&opts) {
+        eprintln!(
+            "vitex: {flag_a} and {flag_b} both write to '{path}'; give each export its own file"
+        );
+        return ExitCode::from(2);
+    }
     // The eager ablation mode is a single-threaded diagnostic; like
     // `--shards`, the parallel front-end doesn't combine with it.
     if opts.eager && opts.parse_threads > 1 {
@@ -681,6 +725,47 @@ fn main() -> ExitCode {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn base_options() -> Options {
+        Options {
+            queries: vec!["//a".into()],
+            file: None,
+            count: false,
+            values: false,
+            stats: false,
+            eager: false,
+            scan_dispatch: false,
+            no_plan_sharing: false,
+            prefix_sharing: false,
+            shards: 1,
+            placement: Placement::CostAware,
+            parse_threads: 1,
+            no_overlap: false,
+            machine: false,
+            metrics: false,
+            metrics_json: None,
+            trace_out: None,
+            profile: false,
+            profile_json: None,
+            heartbeat: 0,
+        }
+    }
+
+    #[test]
+    fn duplicate_export_paths_are_detected_pairwise() {
+        let mut opts = base_options();
+        assert!(duplicate_export_path(&opts).is_none(), "no exports, no conflict");
+        opts.metrics_json = Some("out.json".into());
+        opts.trace_out = Some("trace.json".into());
+        assert!(duplicate_export_path(&opts).is_none(), "distinct paths are fine");
+        opts.profile_json = Some("out.json".into());
+        let (a, b, path) = duplicate_export_path(&opts).expect("clash detected");
+        assert_eq!((a, b, path), ("--metrics-json", "--profile-json", "out.json"));
+        opts.metrics_json = None;
+        opts.trace_out = Some("out.json".into());
+        let (a, b, _) = duplicate_export_path(&opts).expect("clash detected");
+        assert_eq!((a, b), ("--profile-json", "--trace-out"));
+    }
 
     #[test]
     fn write_export_maps_unwritable_path_to_usage_error() {

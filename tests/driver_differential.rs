@@ -477,6 +477,112 @@ fn sharded_sessions_survive_churn_and_back_to_back_documents() {
 }
 
 #[test]
+fn recycled_group_slots_do_not_inherit_stale_placement_costs() {
+    // Churn between sessions, aimed at the cost-aware placement seed: a
+    // hog query is removed, a cheap newcomer recycles its plan-group
+    // slot, and the profiling ledger still holds the hog's counters
+    // under that gid. Seeding is keyed by the group's canonical text, so
+    // the newcomer must start from the uniform prior — the next
+    // session's seed plan is plain round-robin, not a partition that
+    // isolates a group that was never expensive.
+    use vitex::core::Placement;
+    let mut xml = String::from("<root>");
+    for i in 0..300 {
+        xml.push_str(&format!("<item id=\"{i}\"><a><b>x{i}</b></a></item>"));
+    }
+    xml.push_str("</root>");
+
+    let mut engine = ShardedEngine::with_options(2, DispatchMode::Indexed, PlanMode::Shared);
+    engine.set_placement(Placement::CostAware);
+    engine.set_profiling(true);
+    let queries = ["//item//b", "/root/zzz", "/root/yyy", "/root/xxx"];
+    for q in queries {
+        engine.add_query(q).expect("valid query");
+    }
+    // Session 1: the hog's counters land in the ledger and the session
+    // repartitions to isolate it.
+    let snap = engine
+        .session(|session| {
+            for _ in 0..2 {
+                session.run_document(XmlReader::from_str(&xml), |_, _| {})?;
+            }
+            Ok(session.placement_snapshot())
+        })
+        .expect("profiled session");
+    assert!(snap.repartitions >= 1, "the hog triggers a repartition");
+    let hog_gid = engine.group_costs().expect("profiling on").queries[0].group.expect("hog active");
+
+    // Churn: retire the hog, let a cheap query recycle its slot. The
+    // removal retires the hog's group (Some(true) = last subscriber),
+    // so the only way `hog_gid` can be active again below is the
+    // newcomer recycling it.
+    assert_eq!(engine.remove_query(vitex::core::QueryId(0)), Some(true), "hog group retires");
+    engine.add_query("/root/www").expect("valid query");
+
+    // Session 2: the seed plan, observed before any document runs. The
+    // surviving cheap groups seed from their (tiny, comparable) ledger
+    // entries; the recycled slot's stale hog entry (hog canonical ≠
+    // newcomer canonical) must be rejected, leaving the newcomer on the
+    // uniform prior. LPT then splits the four cheap groups 2 + 2 — had
+    // the hog's cost leaked onto the recycled gid, the newcomer would
+    // sit alone on one shard with the other three groups packed
+    // opposite it.
+    let (seed, outs) = engine
+        .session(|session| {
+            let seed = session.placement_snapshot();
+            let outs = (0..2)
+                .map(|_| session.run_document(XmlReader::from_str(&xml), |_, _| {}))
+                .collect::<Result<Vec<_>, _>>()?;
+            Ok((seed, outs))
+        })
+        .expect("session after churn");
+    let active: Vec<usize> =
+        (0..seed.shard_of.len()).filter(|&g| seed.shard_of[g].is_some()).collect();
+    assert_eq!(active.len(), 4, "four groups remain active after churn");
+    assert!(
+        seed.shard_of[hog_gid].is_some(),
+        "the newcomer recycled the retired hog's group slot {hog_gid}"
+    );
+    let mut per_shard = vec![0usize; seed.shards];
+    for &gid in &active {
+        per_shard[seed.shard_of[gid].unwrap()] += 1;
+    }
+    assert_eq!(
+        per_shard,
+        vec![2, 2],
+        "seed plan splits the four cheap groups evenly — recycled gid {hog_gid} carries no stale cost"
+    );
+    // And the churned engine still matches a single-threaded reference.
+    let mut reference = MultiEngine::with_options(DispatchMode::Indexed, PlanMode::Shared);
+    for q in queries {
+        reference.add_query(q).unwrap();
+    }
+    reference.remove_query(vitex::core::QueryId(0));
+    reference.add_query("/root/www").unwrap();
+    for out in &outs {
+        let ref_out = reference.run(XmlReader::from_str(&xml), |_, _| {}).unwrap();
+        assert_eq!(out.matches, ref_out.matches, "churned session matches the reference");
+        assert_eq!(out.stats, ref_out.stats, "churned session stats match the reference");
+    }
+
+    // Worker-count re-clamp: churn that leaves fewer active groups than
+    // configured shards must shrink the next session's worker set.
+    let mut wide = ShardedEngine::with_options(4, DispatchMode::Indexed, PlanMode::Shared);
+    for q in queries {
+        wide.add_query(q).expect("valid query");
+    }
+    assert_eq!(wide.remove_query(vitex::core::QueryId(2)), Some(true));
+    assert_eq!(wide.remove_query(vitex::core::QueryId(3)), Some(true));
+    let snap = wide
+        .session(|session| {
+            session.run_document(XmlReader::from_str(&xml), |_, _| {})?;
+            Ok(session.placement_snapshot())
+        })
+        .expect("clamped session");
+    assert_eq!(snap.shards, 2, "worker count re-clamps to the surviving group count");
+}
+
+#[test]
 fn wildcard_only_query_sees_every_element_through_the_index() {
     // A machine with only wildcard steps has an empty name-dispatch set;
     // the always-on wildcard set must still deliver the full stream.

@@ -152,6 +152,64 @@ fn poisoning_is_per_session_and_front_end_agnostic() {
 }
 
 #[test]
+fn worker_panic_during_assignment_swap_poisons_cleanly() {
+    // Cost-aware placement swaps in a new group→shard assignment at a
+    // document boundary. `inject_swap_fault` makes a worker panic at the
+    // exact adoption point — after the repartition decision, while the
+    // new assignment is being taken up at DocStart. The session must
+    // poison cleanly (no hang at the ring or the watermark barrier, no
+    // stray callbacks), and a fresh session after clearing the fault
+    // must perform the same swap and complete.
+    let xml = document();
+    let mut engine = ShardedEngine::with_options(2, DispatchMode::Indexed, PlanMode::Shared);
+    // One hog among three near-idle groups: the seed plan (uniform costs
+    // = round-robin) pairs the hog with a cheap group, the first
+    // document's counters push measured imbalance past the hysteresis
+    // threshold, and the planner swaps at the second document.
+    for q in ["//item//b", "/root/zzz", "/root/yyy", "/root/xxx"] {
+        engine.add_query(q).expect("valid query");
+    }
+    engine.inject_swap_fault(1);
+    let mut later_calls = 0u64;
+    engine
+        .session(|session| {
+            // Document 1 runs under the seed plan — no swap, no fault.
+            let first = session.run_document(XmlReader::from_str(&xml), |_, _| {})?;
+            assert!(first.matches.iter().map(Vec::len).sum::<usize>() > 0, "doc 1 matched");
+            // Document 2 ships the repartitioned assignment; worker 1
+            // panics while adopting it.
+            let second = session.run_document(XmlReader::from_str(&xml), |_, _| later_calls += 1);
+            match second {
+                Err(EngineError::Worker(msg)) => {
+                    assert!(msg.contains("shard worker 1"), "names the failing shard: {msg}");
+                    assert!(msg.contains("poisoned"), "announces the poisoning: {msg}");
+                }
+                other => panic!("expected a worker fault during the swap, got {other:?}"),
+            }
+            // The poisoned session fails fast from here on.
+            let third = session.run_document(XmlReader::from_str(&xml), |_, _| later_calls += 1);
+            assert!(matches!(third, Err(EngineError::Worker(_))), "poisoned sessions fail fast");
+            Ok(())
+        })
+        .expect("the session closure itself succeeds");
+    assert_eq!(later_calls, 0, "no callbacks from the faulted or poisoned documents");
+    // Same workload, fault cleared: the swap goes through and the warm
+    // session streams every document.
+    engine.clear_worker_fault();
+    let mut matches = 0u64;
+    let snap = engine
+        .session(|session| {
+            for _ in 0..3 {
+                session.run_document(XmlReader::from_str(&xml), |_, _| matches += 1)?;
+            }
+            Ok(session.placement_snapshot())
+        })
+        .expect("fresh session after clearing the fault");
+    assert!(snap.repartitions >= 1, "the cleared session performs the swap that was faulted");
+    assert!(matches > 0, "matches stream again after recovery");
+}
+
+#[test]
 fn parse_fault_in_pipelined_reader_is_clean_too() {
     // The pipelined front-end with a failing parse worker: the reader
     // surfaces a sticky XML error through the normal error path and the

@@ -268,6 +268,69 @@ proptest! {
     }
 }
 
+/// Placement policy must be output-transparent: a warm session streaming
+/// several documents — enough for cost-aware placement to observe the
+/// first document's counters and repartition at a document boundary —
+/// must produce byte-identical matches, callback order and statistics
+/// under both policies at every shard count. A planted hog query (three
+/// chained descendant wildcards, expensive on every document) skews the
+/// group costs so the sweep actually exercises an assignment swap, not
+/// just the seed plan.
+#[test]
+fn placement_axis_is_output_transparent() {
+    use vitex::core::Placement;
+    type SessionOutput = (Vec<MultiOutput>, Vec<(usize, u64)>);
+    let docs: Vec<String> =
+        [11u64, 22, 33].iter().map(|&s| random::to_string(&RandomConfig::seeded(s))).collect();
+    let mut trees = query_set(4242);
+    trees.push(QueryTree::parse("//*//*//*").expect("hog parses"));
+
+    let mut reference: Option<SessionOutput> = None;
+    let mut repartitioned = false;
+    for placement in [Placement::RoundRobin, Placement::CostAware] {
+        for &shards in &[1usize, 2, 4, 7] {
+            let mut engine =
+                ShardedEngine::with_options(shards, DispatchMode::Indexed, PlanMode::Shared);
+            engine.set_placement(placement);
+            for tree in &trees {
+                engine.add_tree(tree).expect("registrable");
+            }
+            let mut streamed = Vec::new();
+            let (outs, snap) = engine
+                .session(|session| {
+                    let outs = docs
+                        .iter()
+                        .map(|xml| {
+                            session.run_document(XmlReader::from_str(xml), |qid, m| {
+                                streamed.push((qid.0, m.node))
+                            })
+                        })
+                        .collect::<Result<Vec<_>, _>>()?;
+                    Ok((outs, session.placement_snapshot()))
+                })
+                .expect("warm session");
+            let label = format!("{placement:?}/{shards} shards");
+            if placement == Placement::RoundRobin || shards == 1 {
+                assert_eq!(snap.repartitions, 0, "no replanning expected: {label}");
+            }
+            repartitioned |= snap.repartitions > 0;
+            match &reference {
+                None => reference = Some((outs, streamed)),
+                Some((ref_outs, ref_streamed)) => {
+                    assert_eq!(outs.len(), ref_outs.len(), "document count: {label}");
+                    for (doc, (out, ref_out)) in outs.iter().zip(ref_outs).enumerate() {
+                        assert_eq!(out.matches, ref_out.matches, "matches doc {doc}: {label}");
+                        assert_eq!(out.stats, ref_out.stats, "machine stats doc {doc}: {label}");
+                        assert_eq!(out.plan, ref_out.plan, "plan stats doc {doc}: {label}");
+                    }
+                    assert_eq!(&streamed, ref_streamed, "callback order: {label}");
+                }
+            }
+        }
+    }
+    assert!(repartitioned, "the planted hog must trigger at least one mid-session repartition");
+}
+
 /// A fixed-seed sweep pinned for CI: deterministic regardless of
 /// `PROPTEST_CASES`, and the place to append seeds of any future field
 /// failures as permanent regression cases.
